@@ -1,0 +1,120 @@
+// Command cmmc compiles a C-- source file to the simulated target
+// machine and optionally runs a procedure.
+//
+// Usage:
+//
+//	cmmc [flags] file.cmm
+//
+// Examples:
+//
+//	cmmc -run sp1 -args 10 figure1.cmm
+//	cmmc -opt -disasm f -stats -run f -args 3 prog.cmm
+//	cmmc -dispatcher unwind -run TryAMove game.cmm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cmm"
+)
+
+var (
+	runProc    = flag.String("run", "", "procedure to run")
+	argList    = flag.String("args", "", "comma-separated integer arguments")
+	doOpt      = flag.Bool("opt", false, "run the optimizer first")
+	disasm     = flag.String("disasm", "", "disassemble a procedure")
+	stats      = flag.Bool("stats", false, "print cost-model counters after running")
+	dispatcher = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
+	testBranch = flag.Bool("test-and-branch", false, "use test-and-branch instead of branch-table alternate returns")
+	noSaves    = flag.Bool("no-callee-saves", false, "disable callee-saves register allocation")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmmc [flags] file.cmm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := cmm.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *doOpt {
+		fmt.Println("optimizer:", mod.Optimize())
+	}
+	var opts []cmm.RunOption
+	if d := makeDispatcher(*dispatcher); d != nil {
+		opts = append(opts, cmm.WithDispatcher(d))
+	}
+	mach, err := mod.Native(cmm.CompileConfig{
+		TestAndBranch: *testBranch,
+		NoCalleeSaves: *noSaves,
+	}, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm != "" {
+		text, err := mach.Disassemble(*disasm)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+	}
+	if *runProc != "" {
+		args := parseArgs(*argList)
+		res, err := mach.Run(*runProc, args...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(%v) result registers: %v\n", *runProc, args, res)
+		if *stats {
+			s := mach.Stats()
+			fmt.Printf("cycles=%d instrs=%d loads=%d stores=%d branches=%d calls=%d yields=%d\n",
+				s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+		}
+	}
+}
+
+func makeDispatcher(spec string) cmm.Dispatcher {
+	switch {
+	case spec == "":
+		return nil
+	case spec == "unwind":
+		return cmm.NewUnwindDispatcher()
+	case strings.HasPrefix(spec, "exnstack:"):
+		return cmm.NewExnStackDispatcher(strings.TrimPrefix(spec, "exnstack:"))
+	case strings.HasPrefix(spec, "register:"):
+		return cmm.NewRegisterDispatcher(strings.TrimPrefix(spec, "register:"))
+	}
+	fatal(fmt.Errorf("unknown dispatcher %q", spec))
+	return nil
+}
+
+func parseArgs(s string) []uint64 {
+	if s == "" {
+		return nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q: %v", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command cmmdump prints a procedure's Abstract C-- flow graph
+// (Table 2), its SSA numbering (the Figure 6 presentation), or its
+// live-variable sets.
+//
+// Usage:
+//
+//	cmmdump [-opt] [-proc name] [-ssa|-live|-graph] file.cmm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmm"
+)
+
+var (
+	proc    = flag.String("proc", "", "procedure to dump (default: all)")
+	ssa     = flag.Bool("ssa", false, "print the SSA numbering (Figure 6)")
+	live    = flag.Bool("live", false, "print live-variable sets")
+	graph   = flag.Bool("graph", true, "print the flow graph (Table 2 nodes)")
+	doOpt   = flag.Bool("opt", false, "run the optimizer first")
+	m3pol   = flag.String("minim3", "", "treat input as MiniM3 and compile under policy: cutting, unwinding, native")
+	emitCmm = flag.Bool("emit-cmm", false, "with -minim3: print the generated C-- source")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmmdump [flags] file.cmm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(data)
+	if *m3pol != "" {
+		var policy cmm.ExceptionPolicy
+		switch *m3pol {
+		case "cutting":
+			policy = cmm.StackCutting
+		case "unwinding":
+			policy = cmm.RuntimeUnwinding
+		case "native":
+			policy = cmm.NativeUnwinding
+		default:
+			fatal(fmt.Errorf("unknown policy %q", *m3pol))
+		}
+		src, err = cmm.CompileMiniM3(src, policy)
+		if err != nil {
+			fatal(err)
+		}
+		if *emitCmm {
+			fmt.Print(src)
+			return
+		}
+	}
+	mod, err := cmm.Load(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *doOpt {
+		fmt.Println("optimizer:", mod.Optimize())
+	}
+	procs := mod.Procedures()
+	if *proc != "" {
+		procs = []string{*proc}
+	}
+	for _, p := range procs {
+		if *graph && !*ssa && !*live {
+			text, err := mod.DumpGraph(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(text)
+		}
+		if *ssa {
+			text, err := mod.DumpSSA(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("=== SSA %s ===\n%s", p, text)
+		}
+		if *live {
+			text, err := mod.DumpLiveness(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("=== liveness %s ===\n%s", p, text)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmdump:", err)
+	os.Exit(1)
+}

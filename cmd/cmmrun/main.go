@@ -1,0 +1,89 @@
+// Command cmmrun executes a C-- source file on the abstract machine of
+// the paper's operational semantics (§5). Programs that "go wrong"
+// report exactly which rule could not fire.
+//
+// Usage:
+//
+//	cmmrun [flags] file.cmm
+//
+// Example:
+//
+//	cmmrun -run sp3 -args 10 figure1.cmm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cmm"
+)
+
+var (
+	runProc    = flag.String("run", "main", "procedure to run")
+	argList    = flag.String("args", "", "comma-separated integer arguments")
+	doOpt      = flag.Bool("opt", false, "run the optimizer first")
+	steps      = flag.Bool("steps", false, "print the number of machine transitions")
+	dispatcher = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cmmrun [flags] file.cmm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := cmm.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *doOpt {
+		fmt.Println("optimizer:", mod.Optimize())
+	}
+	var opts []cmm.RunOption
+	switch {
+	case *dispatcher == "":
+	case *dispatcher == "unwind":
+		opts = append(opts, cmm.WithDispatcher(cmm.NewUnwindDispatcher()))
+	case strings.HasPrefix(*dispatcher, "exnstack:"):
+		opts = append(opts, cmm.WithDispatcher(cmm.NewExnStackDispatcher(strings.TrimPrefix(*dispatcher, "exnstack:")))) //nolint
+	case strings.HasPrefix(*dispatcher, "register:"):
+		opts = append(opts, cmm.WithDispatcher(cmm.NewRegisterDispatcher(strings.TrimPrefix(*dispatcher, "register:"))))
+	default:
+		fatal(fmt.Errorf("unknown dispatcher %q", *dispatcher))
+	}
+	in, err := mod.Interp(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	var args []uint64
+	if *argList != "" {
+		for _, part := range strings.Split(*argList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+			args = append(args, v)
+		}
+	}
+	res, err := in.Run(*runProc, args...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
+	if *steps {
+		fmt.Printf("transitions: %d\n", in.Steps())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package cmm_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runTool executes one of the repo's commands via `go run`.
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmmrunTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmrun", "-run", "sp1", "-args", "10", "-steps", "testdata/figure1.cmm")
+	if !strings.Contains(out, "[55 3628800]") {
+		t.Errorf("output: %s", out)
+	}
+	if !strings.Contains(out, "transitions:") {
+		t.Errorf("no step count: %s", out)
+	}
+}
+
+func TestCmmcTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmc", "-run", "sp3", "-args", "10", "-stats", "-opt", "testdata/figure1.cmm")
+	if !strings.Contains(out, "55 3628800") {
+		t.Errorf("output: %s", out)
+	}
+	if !strings.Contains(out, "cycles=") {
+		t.Errorf("no stats: %s", out)
+	}
+}
+
+func TestCmmdumpTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmdump", "-proc", "sp3", "testdata/figure1.cmm")
+	if !strings.Contains(out, "Entry") || !strings.Contains(out, "Branch") {
+		t.Errorf("graph dump: %s", out)
+	}
+	out = runTool(t, "./cmd/cmmdump", "-proc", "sp3", "-ssa", "testdata/figure1.cmm")
+	if !strings.Contains(out, "φ") {
+		t.Errorf("ssa dump lacks phis: %s", out)
+	}
+}
+
+func TestCmmdumpMiniM3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmdump", "-minim3", "cutting", "-emit-cmm", "testdata/game.m3")
+	if !strings.Contains(out, "cut to") || !strings.Contains(out, "mm_exn_top") {
+		t.Errorf("minim3 emission: %s", out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests build binaries")
+	}
+	for _, ex := range []struct{ dir, want string }{
+		{"./examples/quickstart", "sp3(10): interpreter (sum=55, product=3628800)"},
+		{"./examples/modula3", "policy native-unwind"},
+		{"./examples/optimizer", "miscompiled f(41) goes wrong"},
+		{"./examples/mechanisms", "CPS tail call"},
+	} {
+		out := runTool(t, ex.dir)
+		if !strings.Contains(out, ex.want) {
+			t.Errorf("%s: output lacks %q:\n%s", ex.dir, ex.want, out)
+		}
+	}
+}

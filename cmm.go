@@ -1,0 +1,189 @@
+// Package cmm is a Go implementation of C-- as described in
+// "A Single Intermediate Language That Supports Multiple Implementations
+// of Exceptions" (Ramsey & Peyton Jones, PLDI 2000).
+//
+// The library contains the complete pipeline of the paper:
+//
+//	C-- source ──Load──▶ Abstract C-- (Table 2 flow graphs)
+//	    │                     │
+//	    │                Optimize (§6: standard dataflow, no special
+//	    │                     │    cases for exceptions)
+//	    │                     ├──Interp──▶ the §5 operational semantics
+//	    │                     └──Native──▶ compiled code on a simulated
+//	    │                                  target machine with callee-
+//	    │                                  saves registers, branch-table
+//	    │                                  returns, and cuttable stacks
+//	    │
+//	MiniM3 (a Modula-3-flavoured source language) compiles to C-- under
+//	three exception policies: stack cutting, run-time unwinding, and
+//	native-code unwinding via alternate returns.
+//
+// Both execution targets implement the C-- run-time interface of
+// Table 1 (FirstActivation, NextActivation, SetActivation,
+// SetUnwindCont, SetCutToCont, FindContParam, GetDescriptor, Resume), so
+// a front-end run-time system — such as the exception dispatchers in
+// this package — runs unchanged on either.
+package cmm
+
+import (
+	"fmt"
+
+	"cmm/internal/cfg"
+	"cmm/internal/check"
+	"cmm/internal/dataflow"
+	"cmm/internal/minim3"
+	"cmm/internal/opt"
+	"cmm/internal/syntax"
+)
+
+// Module is a checked and translated C-- compilation unit: one Abstract
+// C-- graph per procedure plus the static data it runs against.
+type Module struct {
+	prog *cfg.Program
+	info *check.Info
+}
+
+// Load parses, checks, and translates C-- source into Abstract C--.
+func Load(src string) (*Module, error) {
+	parsed, err := syntax.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := check.Check(parsed)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cfg.Build(parsed, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{prog: prog, info: info}, nil
+}
+
+// Procedures lists the module's procedures in source order (synthesized
+// slow-but-solid primitives last).
+func (m *Module) Procedures() []string {
+	return append([]string{}, m.prog.Order...)
+}
+
+// OptStats reports what the optimizer did.
+type OptStats struct {
+	ConstantsFolded  int
+	CopiesPropagated int
+	AssignsRemoved   int
+	BranchesResolved int
+	CSEHits          int
+}
+
+func (s OptStats) String() string {
+	return fmt.Sprintf("folded %d constants, propagated %d copies, removed %d dead assignments, resolved %d branches, %d CSE hits",
+		s.ConstantsFolded, s.CopiesPropagated, s.AssignsRemoved, s.BranchesResolved, s.CSEHits)
+}
+
+// Optimize runs the §6 optimizer — constant propagation and folding,
+// copy propagation, dead-code elimination, branch resolution, local
+// CSE — over every procedure. Exceptional control flow needs no special
+// treatment: the also-annotations appear as ordinary flow edges.
+func (m *Module) Optimize() OptStats {
+	return m.optimize(opt.Options{})
+}
+
+// OptimizeUnsoundWithoutExceptionEdges runs the same passes with the
+// unwind and cut edges hidden from every analysis. It exists ONLY to
+// reproduce the classic miscompilation (Hennessy 1981) that the paper's
+// annotations prevent; never use it to run real programs.
+func (m *Module) OptimizeUnsoundWithoutExceptionEdges() OptStats {
+	return m.optimize(opt.Options{WithoutExceptionEdges: true})
+}
+
+func (m *Module) optimize(o opt.Options) OptStats {
+	var total OptStats
+	for _, name := range m.prog.Order {
+		r := opt.Optimize(m.prog.Graphs[name], m.info, o)
+		total.ConstantsFolded += r.ConstantsFolded
+		total.CopiesPropagated += r.CopiesPropagated
+		total.AssignsRemoved += r.AssignsRemoved
+		total.BranchesResolved += r.BranchesResolved
+		total.CSEHits += r.CSEHits
+	}
+	return total
+}
+
+// DumpGraph renders a procedure's Abstract C-- flow graph (Table 2).
+func (m *Module) DumpGraph(proc string) (string, error) {
+	g := m.prog.Graph(proc)
+	if g == nil {
+		return "", fmt.Errorf("no procedure %s", proc)
+	}
+	return g.String(), nil
+}
+
+// DumpSSA renders the Figure 6 presentation of a procedure: its SSA
+// numbering over the Table 3 dataflow.
+func (m *Module) DumpSSA(proc string) (string, error) {
+	g := m.prog.Graph(proc)
+	if g == nil {
+		return "", fmt.Errorf("no procedure %s", proc)
+	}
+	s := dataflow.BuildSSA(g)
+	if err := s.Verify(); err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+// DumpLiveness renders per-node live-variable sets.
+func (m *Module) DumpLiveness(proc string) (string, error) {
+	g := m.prog.Graph(proc)
+	if g == nil {
+		return "", fmt.Errorf("no procedure %s", proc)
+	}
+	lv := dataflow.ComputeLiveness(g)
+	out := ""
+	for i, n := range g.Nodes() {
+		out += fmt.Sprintf("n%d %s: in=%v out=%v\n", i, n.Kind, setList(lv.In[n]), setList(lv.Out[n]))
+	}
+	return out, nil
+}
+
+func setList(s map[string]bool) []string {
+	var out []string
+	for v := range s {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ExceptionPolicy selects how the MiniM3 front end implements
+// exceptions (§2's design space).
+type ExceptionPolicy = minim3.Policy
+
+// The MiniM3 exception policies.
+const (
+	// StackCutting: handler continuations on a dynamic exception stack;
+	// RAISE pops and cuts (Appendix A.2, Figure 10).
+	StackCutting = minim3.PolicyCutting
+	// RuntimeUnwinding: descriptors plus a run-time stack walk
+	// (Appendix A.1, Figures 8/9). Zero normal-case overhead.
+	RuntimeUnwinding = minim3.PolicyUnwinding
+	// NativeUnwinding: compiled unwinding via alternate returns and the
+	// branch-table method (§4.2, Figures 3/4).
+	NativeUnwinding = minim3.PolicyNativeUnwind
+)
+
+// CompileMiniM3 compiles MiniM3 source to C-- under the given policy.
+// For every procedure P the result exports a wrapper run_P returning
+// (status, value): status 0 on normal return, or the escaped exception's
+// tag with its argument.
+func CompileMiniM3(src string, policy ExceptionPolicy) (string, error) {
+	return minim3.Compile(src, policy)
+}

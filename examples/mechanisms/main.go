@@ -1,0 +1,180 @@
+// Mechanisms: the Figure 2 design space, live.
+//
+// C-- offers four ways to transfer control to an exception handler:
+//
+//	                      no stack walk          stack walk
+//	generated code        cut to                 return <m/n>
+//	run-time system       SetCutToCont           SetActivation+SetUnwindCont
+//
+// plus continuation-passing style via fully general tail calls. This
+// example runs one scenario — raise an exception from depth d back to a
+// handler at the bottom — through all five, printing the simulated
+// cycle cost of the raise for two depths so the shapes are visible:
+// cutting is constant-time, unwinding is linear in depth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmm"
+)
+
+// Generated-code stack cutting: dig passes the handler continuation
+// down; raising cuts directly to it.
+const cutSrc = `
+f(bits32 depth) {
+    bits32 r;
+    r = dig(depth, k) also cuts to k;
+    return (r);
+continuation k(r):
+    return (r);
+}
+dig(bits32 n, bits32 kv) {
+    bits32 r;
+    if n == 0 {
+        cut to kv(42) also aborts;
+    }
+    r = dig(n - 1, kv) also aborts;
+    return (r);
+}
+`
+
+// Run-time cutting: the handler continuation sits in a global register;
+// raising yields, and the run-time system cuts with SetCutToCont.
+const runtimeCutSrc = `
+bits32 handler;
+f(bits32 depth) {
+    bits32 tag, arg;
+    handler = k;
+    arg = dig(depth) also cuts to k;
+    return (arg);
+continuation k(tag, arg):
+    return (arg);
+}
+dig(bits32 n) {
+    bits32 r;
+    if n == 0 {
+        yield(1, 7, 42) also aborts;
+    }
+    r = dig(n - 1) also aborts;
+    return (r);
+}
+`
+
+// Run-time unwinding: the handler's call site carries a descriptor; the
+// Figure 9 dispatcher walks the stack to find it.
+const runtimeUnwindSrc = `
+section "data" {
+    desc: bits32 1,  7, 0, 1;
+}
+f(bits32 depth) {
+    bits32 r;
+    r = dig(depth) also unwinds to k also aborts descriptors(desc);
+    return (r);
+continuation k(r):
+    return (r);
+}
+dig(bits32 n) {
+    bits32 r;
+    if n == 0 {
+        yield(1, 7, 42) also aborts;
+    }
+    r = dig(n - 1) also aborts;
+    return (r);
+}
+`
+
+// Native-code unwinding: every return is a branch-table return; raising
+// returns abnormally and each frame propagates in generated code.
+const nativeUnwindSrc = `
+f(bits32 depth) {
+    bits32 r;
+    r = dig(depth) also returns to k;
+    return (r);
+continuation k(r):
+    return (r);
+}
+dig(bits32 n) {
+    bits32 r;
+    if n == 0 {
+        return <0/1> (42);
+    }
+    r = dig(n - 1) also returns to kx;
+    return <1/1> (r);
+continuation kx(r):
+    return <0/1> (r);
+}
+`
+
+// Continuation-passing style: the handler is an ordinary procedure
+// passed down; raising is a fully general tail call (jump), so the
+// handler returns directly to f's call site.
+const cpsSrc = `
+f(bits32 depth) {
+    bits32 r;
+    r = dig(depth, hproc);
+    return (r);
+}
+hproc(bits32 arg) {
+    return (arg);
+}
+dig(bits32 n, bits32 h) {
+    bits32 r;
+    if n == 0 {
+        jump h(42);        /* raise = tail call to the exception continuation */
+    }
+    r = dig(n - 1, h);
+    return (r);
+}
+`
+
+func measure(name, src string, d cmm.Dispatcher, depth uint64) int64 {
+	mod, err := cmm.Load(src)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	var opts []cmm.RunOption
+	if d != nil {
+		opts = append(opts, cmm.WithDispatcher(d))
+	}
+	mach, err := mod.Native(cmm.CompileConfig{}, opts...)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	res, err := mach.Run("f", depth)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if res[0] != 42 {
+		log.Fatalf("%s: got %d, want 42", name, res[0])
+	}
+	return mach.Stats().Cycles
+}
+
+func main() {
+	fmt.Println("Raise from depth d to a handler at the bottom; simulated cycles:")
+	fmt.Println()
+	fmt.Printf("%-28s %12s %12s %14s\n", "mechanism", "d=16", "d=128", "marginal/frame")
+	rows := []struct {
+		name string
+		src  string
+		d    cmm.Dispatcher
+	}{
+		{"cut to (generated code)", cutSrc, nil},
+		{"SetCutToCont (runtime)", runtimeCutSrc, cmm.NewRegisterDispatcher("handler")},
+		{"SetUnwindCont (runtime)", runtimeUnwindSrc, cmm.NewUnwindDispatcher()},
+		{"return <m/n> (generated)", nativeUnwindSrc, nil},
+		{"CPS tail call", cpsSrc, nil},
+	}
+	for _, row := range rows {
+		c16 := measure(row.name, row.src, row.d, 16)
+		c128 := measure(row.name, row.src, row.d, 128)
+		fmt.Printf("%-28s %12d %12d %14.1f\n", row.name, c16, c128, float64(c128-c16)/112)
+	}
+	fmt.Println()
+	fmt.Println("Every mechanism pays the linear cost of *building* the stack; what")
+	fmt.Println("differs is the raise: cutting mechanisms add nothing per frame,")
+	fmt.Println("while unwinding mechanisms pay per frame unwound — compare the")
+	fmt.Println("marginal column against the pure descent (cut to).")
+}

@@ -1,0 +1,113 @@
+// Modula-3 exceptions three ways: the paper's Appendix A game program
+// (Figure 7) compiled by the MiniM3 front end under all three exception
+// policies — stack cutting (Figure 10), run-time unwinding (Figures
+// 8/9), and native-code unwinding via alternate returns — and executed
+// on the simulated machine. All three compute the same answers with
+// different cost profiles, which this example prints.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cmm/internal/minim3"
+)
+
+// The Figure 7 game, in MiniM3: TryAMove makes a move and handles
+// BadMove and NoMoreTiles.
+const game = `
+var next;
+var movesTried;
+
+exception BadMove;
+exception NoMoreTiles;
+
+proc getMove(which) {
+    if which % 13 == 1 { raise BadMove(which); }
+    if which % 13 == 2 { raise NoMoreTiles; }
+    return which * 2;
+}
+
+proc makeMove(m) {
+    return m + 1;
+}
+
+proc tryAMove(which) {
+    try {
+        makeMove(getMove(which));
+        next = (next + 1) % 4;
+    } except BadMove(why) {
+        next = 1000 + why;
+    } except NoMoreTiles {
+        next = 2000;
+    }
+    movesTried = movesTried + 1;
+    return next;
+}
+
+proc playGame(rounds) {
+    var i;
+    var acc;
+    i = 0;
+    acc = 0;
+    while i < rounds {
+        acc = acc + tryAMove(i);
+        i = i + 1;
+    }
+    return acc;
+}
+`
+
+func main() {
+	fmt.Println("One source program, three exception implementations (§2's design space):")
+	fmt.Println()
+	for _, policy := range minim3.Policies {
+		r, err := minim3.NewRunner(game, policy, minim3.BackendVM)
+		if err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+		status, value, err := r.Call("playGame", 100)
+		if err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+		s := r.Stats()
+		fmt.Printf("policy %-14s -> status=%d result=%-8d cycles=%-8d instrs=%-8d yields=%d\n",
+			policy, status, value, s.Cycles, s.Instrs, s.Yields)
+	}
+
+	fmt.Println()
+	fmt.Println("The same front end emits different C-- for each policy.")
+	fmt.Println("Stack cutting (Figure 10 shape) compiles tryAMove to:")
+	out, err := minim3.Compile(game, minim3.PolicyCutting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printProc(out, "tryAMove")
+	fmt.Println("Run-time unwinding (Figure 8 shape) compiles it to:")
+	out, err = minim3.Compile(game, minim3.PolicyUnwinding)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printProc(out, "tryAMove")
+}
+
+// printProc extracts one procedure from generated C-- source.
+func printProc(src, name string) {
+	printing := false
+	depth := 0
+	for _, line := range strings.Split(src, "\n") {
+		if !printing && strings.HasPrefix(line, name+"(") {
+			printing = true
+		}
+		if !printing {
+			continue
+		}
+		fmt.Println(line)
+		depth += strings.Count(line, "{") - strings.Count(line, "}")
+		if depth == 0 && strings.Contains(line, "}") {
+			fmt.Println()
+			return
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package codegen
+
+import (
+	"sort"
+
+	"cmm/internal/cfg"
+	"cmm/internal/machine"
+	"cmm/internal/syntax"
+)
+
+// allocate assigns a home to every local variable of the current
+// procedure and lays out its frame. The classification follows §4.2:
+//
+//   - A variable live into a continuation reachable by also-cuts-to must
+//     live in the frame: a cut does not restore callee-saves registers,
+//     so no register can carry it.
+//   - A variable live across any call (including into unwind and
+//     alternate-return continuations, which the run-time system or the
+//     branch table reaches with callee-saves registers intact) goes into
+//     a callee-saves register, falling back to the frame when the bank
+//     is full or when the DisableCalleeSaves ablation is on.
+//   - Everything else gets a caller-saves temporary, falling back to the
+//     frame.
+//
+// Frame layout, offsets from sp after the prologue:
+//
+//	[0 ..)              frame-resident variables (8-byte slots)
+//	[..]                continuation (pc, sp) pairs, 16 bytes each
+//	[..]                saved callee-saves registers
+//	[RAOffset]          saved return address
+func (gen *generator) allocate() error {
+	f := gen.f
+	g := f.g
+	lv := f.liveness
+
+	liveIntoCut := map[string]bool{}
+	liveAcross := map[string]bool{}
+	for _, n := range g.Nodes() {
+		if n.Bundle == nil {
+			continue
+		}
+		if n.Kind == cfg.KindCall {
+			for _, v := range lv.LiveAcross(n) {
+				liveAcross[v] = true
+			}
+		}
+		for _, t := range n.Bundle.Cuts {
+			for v := range lv.In[t] {
+				param := false
+				for _, pv := range t.Vars {
+					if pv == v {
+						param = true
+					}
+				}
+				if !param {
+					liveIntoCut[v] = true
+				}
+			}
+		}
+	}
+
+	// Deterministic order.
+	vars := make([]string, 0, len(g.Locals))
+	for v := range g.Locals {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+
+	var frameVars []string
+	nextS := 0
+	nextT := 4 // t0..t3 are expression scratch; homes start at t4
+	for _, v := range vars {
+		switch {
+		case liveIntoCut[v]:
+			frameVars = append(frameVars, v)
+		case liveAcross[v]:
+			if gen.opts.DisableCalleeSaves || nextS >= machine.NumS {
+				frameVars = append(frameVars, v)
+			} else {
+				f.homes[v] = home{reg: machine.RS0 + machine.Reg(nextS), inReg: true}
+				nextS++
+			}
+		default:
+			if nextT >= machine.NumT {
+				frameVars = append(frameVars, v)
+			} else {
+				f.homes[v] = home{reg: machine.RT0 + machine.Reg(nextT), inReg: true}
+				nextT++
+			}
+		}
+	}
+
+	off := int64(0)
+	for _, v := range frameVars {
+		f.homes[v] = home{off: off}
+		off += wordSlot
+	}
+	// Continuation blocks.
+	contNames := make([]string, 0, len(g.ContMap))
+	for name := range g.ContMap {
+		contNames = append(contNames, name)
+	}
+	sort.Strings(contNames)
+	for _, name := range contNames {
+		f.pi.ContBlocks[name] = off
+		off += 2 * wordSlot
+	}
+	// Saved callee-saves. A procedure whose continuations may be cut to
+	// must save and restore the ENTIRE callee-saves bank: a cut discards
+	// the frames between the raise point and the handler, and with them
+	// whatever callee-saves values those frames had spilled — including
+	// values owned by this procedure's own callers. Restoring the full
+	// bank from this frame at exit is what keeps the calling convention
+	// intact below the handler ("these values may be distributed
+	// throughout the stack", §2; "killed by flow edges from the call to
+	// any cut-to continuations", §4.2). This is the per-scope cost of the
+	// stack-cutting technique.
+	nSaved := nextS
+	if gen.cutTargets() && !gen.opts.DisableCalleeSaves {
+		// (When DisableCalleeSaves is on, no procedure anywhere uses the
+		// bank, so there is nothing to preserve across a cut — exactly
+		// the "no callee-saves registers" configuration the paper pairs
+		// with stack cutting.)
+		nSaved = machine.NumS
+	}
+	for i := 0; i < nSaved; i++ {
+		f.pi.SavedRegs = append(f.pi.SavedRegs, SavedReg{Reg: machine.RS0 + machine.Reg(i), Offset: off})
+		off += wordSlot
+	}
+	f.pi.RAOffset = off
+	off += wordSlot
+	f.pi.FrameSize = off
+	return nil
+}
+
+// cutTargets reports whether any continuation of the current procedure
+// can be entered by a cut: it appears in an also-cuts-to list, or its
+// value escapes as data (stored, passed, or compared), in which case any
+// holder might cut to it.
+func (gen *generator) cutTargets() bool {
+	g := gen.f.g
+	if len(g.ContMap) == 0 {
+		return false
+	}
+	for _, n := range g.AllNodes() {
+		if n.Bundle != nil && len(n.Bundle.Cuts) > 0 {
+			return true
+		}
+		escaped := false
+		cfg.WalkNodeExprs(n, func(e syntax.Expr) {
+			if v, ok := e.(*syntax.VarExpr); ok {
+				if _, isCont := g.ContMap[v.Name]; isCont {
+					escaped = true
+				}
+			}
+		})
+		if escaped {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,341 @@
+// Package codegen compiles Abstract C-- to code for the simulated target
+// machine (internal/machine). It implements the pieces of the paper's
+// story that live between the optimizer and the run-time system:
+//
+//   - a calling convention with argument/result registers (the concrete
+//     realization of the value-passing area A, §5.4),
+//   - callee-saves registers allocated to values live across calls —
+//     EXCEPT across calls annotated "also cuts to", whose flow edges kill
+//     callee-saves registers (§4.2); such values live in the frame,
+//   - continuation values as two words (pc, sp) materialized in the
+//     activation record (§5.4),
+//   - the branch-table method of Figures 3 and 4 for alternate returns,
+//     with the test-and-branch alternative available for the ablation
+//     experiment,
+//   - frame descriptors ("run-time procedure tables") that let the
+//     run-time system walk the stack, restore callee-saves registers,
+//     and find each call site's continuations and descriptors — the
+//     machinery behind Table 1.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"cmm/internal/cfg"
+	"cmm/internal/dataflow"
+	"cmm/internal/machine"
+	"cmm/internal/syntax"
+)
+
+// Options selects code-generation strategies.
+type Options struct {
+	// TestAndBranch replaces the branch-table method for alternate
+	// returns with an index-register-and-compare sequence (the
+	// alternative Figures 3/4 argue against). Used by the ablation
+	// benchmark.
+	TestAndBranch bool
+	// DisableCalleeSaves forces every value live across a call into the
+	// frame, approximating "implementations that use no callee-saves
+	// registers" (§2, stack cutting discussion).
+	DisableCalleeSaves bool
+}
+
+// SavedReg records where a prologue saved a callee-saves register.
+type SavedReg struct {
+	Reg    machine.Reg
+	Offset int64 // from sp (frame base) after prologue
+}
+
+// CallSite describes one suspended call or yield site, keyed by the
+// return pc (the instruction index the callee returns to). It is the
+// compiled analogue of a continuation bundle plus the static descriptors
+// of §3.3.
+type CallSite struct {
+	RetPC       int
+	Proc        *ProcInfo
+	NumAlt      int   // alternate return continuations (branch-table size)
+	ReturnPCs   []int // entry pcs: alternates then normal landing
+	UnwindPCs   []int
+	UnwindVars  []int // parameter count of each unwind continuation
+	CutPCs      []int // for validation/reporting only
+	Abort       bool
+	Descriptors []uint64
+	IsYield     bool
+}
+
+// ProcInfo is the frame descriptor of one compiled procedure.
+type ProcInfo struct {
+	Name        string
+	Entry       int
+	End         int // one past the last instruction
+	FrameSize   int64
+	RAOffset    int64
+	SavedRegs   []SavedReg
+	ContEntries map[string]int   // continuation name -> landing pc
+	ContBlocks  map[string]int64 // continuation name -> frame offset of its (pc,sp) pair
+}
+
+// Program is a fully compiled program ready to load into a machine.
+type Program struct {
+	Code       []machine.Instr
+	Procs      map[string]*ProcInfo
+	ProcByPC   []*ProcInfo // sorted by Entry for pc lookup
+	CallSites  map[int]*CallSite
+	Img        *cfg.Image
+	GlobalAddr map[string]uint64
+	GlobalInit map[string]uint64
+	Foreigns   []string // foreign index -> import name
+	HeapStart  uint64   // first free address past globals
+	Source     *cfg.Program
+	Opts       Options
+}
+
+// ProcAt finds the procedure containing instruction index pc.
+func (p *Program) ProcAt(pc int) *ProcInfo {
+	i := sort.Search(len(p.ProcByPC), func(i int) bool { return p.ProcByPC[i].End > pc })
+	if i < len(p.ProcByPC) && pc >= p.ProcByPC[i].Entry {
+		return p.ProcByPC[i]
+	}
+	return nil
+}
+
+// CodeSize reports the number of instructions generated for a procedure,
+// for the Figures 3/4 space-overhead comparison.
+func (p *Program) CodeSize(proc string) int {
+	pi := p.Procs[proc]
+	if pi == nil {
+		return 0
+	}
+	return pi.End - pi.Entry
+}
+
+const wordSlot = 8 // every frame slot is 8 bytes in the simulated machine
+
+// Compile translates a program to machine code.
+func Compile(src *cfg.Program, opts Options) (*Program, error) {
+	cp := &Program{
+		Procs:      map[string]*ProcInfo{},
+		CallSites:  map[int]*CallSite{},
+		GlobalAddr: map[string]uint64{},
+		GlobalInit: map[string]uint64{},
+		Source:     src,
+		Opts:       opts,
+	}
+	// Foreign indices for imports that have no definition.
+	fidx := map[string]int{}
+	for _, im := range src.Imports {
+		if _, defined := src.Graphs[im]; defined {
+			continue
+		}
+		if _, dup := fidx[im]; dup {
+			continue
+		}
+		fidx[im] = len(cp.Foreigns)
+		cp.Foreigns = append(cp.Foreigns, im)
+	}
+
+	// Data layout first: label and string addresses are independent of
+	// the values stored, so a dummy resolver gives the final addresses.
+	// The real image (whose initializers may hold code addresses) is
+	// rebuilt after compilation.
+	layout, err := cfg.BuildImage(src, func(string) (uint64, bool) { return 0, true })
+	if err != nil {
+		return nil, err
+	}
+	// Globals live in memory just past the data image; their addresses
+	// are needed while compiling.
+	addr := align8(layout.End())
+	for _, gv := range src.Globals {
+		cp.GlobalAddr[gv.Name] = addr
+		cp.GlobalInit[gv.Name] = gv.Init
+		addr += wordSlot
+	}
+	cp.HeapStart = align8(addr)
+	g := &generator{prog: cp, src: src, opts: opts, fidx: fidx,
+		labels: layout.Labels, strings: layout.Strings}
+	for _, name := range src.Order {
+		if err := g.compileProc(name); err != nil {
+			return nil, err
+		}
+	}
+	g.resolveFixups()
+	cp.Code = g.code
+
+	img, err := cfg.BuildImage(src, func(name string) (uint64, bool) {
+		if pi, ok := cp.Procs[name]; ok {
+			return machine.CodeAddr(pi.Entry), true
+		}
+		if i, ok := fidx[name]; ok {
+			return machine.ForeignAddr(i), true
+		}
+		return 0, false
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp.Img = img
+
+	sort.Slice(cp.ProcByPC, func(i, j int) bool { return cp.ProcByPC[i].Entry < cp.ProcByPC[j].Entry })
+	return cp, nil
+}
+
+func align8(a uint64) uint64 { return (a + 7) &^ 7 }
+
+// --- generator ---
+
+type fixupKind int
+
+const (
+	fixNode        fixupKind = iota // Target := pc of node
+	fixProc                         // Target := entry of proc
+	fixLINode                       // Imm := code address of node
+	fixLIProc                       // Imm := code address of proc (or foreign)
+	fixGlobalLoad                   // Imm := address of global register
+	fixGlobalStore                  // Imm := address of global register
+)
+
+type fixup struct {
+	at   int
+	kind fixupKind
+	node *cfg.Node
+	name string
+}
+
+type generator struct {
+	prog         *Program
+	src          *cfg.Program
+	opts         Options
+	fidx         map[string]int
+	code         []machine.Instr
+	fixupsGlobal []fixup
+	labels       map[string]uint64 // data label/string layout, known pre-codegen
+	strings      map[string]uint64
+
+	// per-proc state
+	f *funcState
+}
+
+type home struct {
+	reg   machine.Reg // valid when inReg
+	off   int64       // frame offset when !inReg
+	inReg bool
+}
+
+type funcState struct {
+	g        *cfg.Graph
+	pi       *ProcInfo
+	homes    map[string]home
+	placed   map[*cfg.Node]int
+	pending  []*cfg.Node
+	fixups   []fixup
+	liveness *dataflow.Liveness
+	sites    []*siteFix
+}
+
+// siteFix is a call site whose continuation pcs need resolving.
+type siteFix struct {
+	site    *CallSite
+	returns []*cfg.Node
+	unwinds []*cfg.Node
+	cuts    []*cfg.Node
+}
+
+func (gen *generator) emit(in machine.Instr) int {
+	gen.code = append(gen.code, in)
+	return len(gen.code) - 1
+}
+
+func (gen *generator) errf(n *cfg.Node, format string, args ...any) error {
+	where := ""
+	if n != nil {
+		where = fmt.Sprintf(" (node n%d at %s)", n.ID, n.Pos)
+	}
+	return fmt.Errorf("codegen %s%s: %s", gen.f.pi.Name, where, fmt.Sprintf(format, args...))
+}
+
+func (gen *generator) typeOf(e syntax.Expr) syntax.Type {
+	t := gen.src.Info.TypeOf(e)
+	if t == (syntax.Type{}) {
+		return syntax.Word
+	}
+	return t
+}
+
+// compileProc allocates registers and emits code for one procedure.
+func (gen *generator) compileProc(name string) error {
+	g := gen.src.Graphs[name]
+	pi := &ProcInfo{
+		Name:        name,
+		Entry:       len(gen.code),
+		ContEntries: map[string]int{},
+		ContBlocks:  map[string]int64{},
+	}
+	gen.prog.Procs[name] = pi
+	gen.prog.ProcByPC = append(gen.prog.ProcByPC, pi)
+	gen.f = &funcState{
+		g:      g,
+		pi:     pi,
+		homes:  map[string]home{},
+		placed: map[*cfg.Node]int{},
+	}
+	gen.f.liveness = dataflow.ComputeLiveness(g)
+
+	if err := gen.allocate(); err != nil {
+		return err
+	}
+	if err := gen.emitBody(); err != nil {
+		return err
+	}
+	pi.End = len(gen.code)
+
+	// Resolve intra-procedural call-site continuation pcs now that the
+	// body is placed.
+	for _, sf := range gen.f.sites {
+		for _, n := range sf.returns {
+			sf.site.ReturnPCs = append(sf.site.ReturnPCs, gen.f.placed[n])
+		}
+		for _, n := range sf.unwinds {
+			sf.site.UnwindPCs = append(sf.site.UnwindPCs, gen.f.placed[n])
+			sf.site.UnwindVars = append(sf.site.UnwindVars, len(n.Vars))
+		}
+		for _, n := range sf.cuts {
+			sf.site.CutPCs = append(sf.site.CutPCs, gen.f.placed[n])
+		}
+	}
+	for name, n := range g.ContMap {
+		pi.ContEntries[name] = gen.f.placed[n]
+	}
+	// Local jump fixups.
+	for _, fx := range gen.f.fixups {
+		switch fx.kind {
+		case fixNode:
+			gen.code[fx.at].Target = gen.f.placed[fx.node]
+		case fixLINode:
+			gen.code[fx.at].Imm = int64(machine.CodeAddr(gen.f.placed[fx.node]))
+		default:
+			// procedure-level fixups resolved globally later
+			gen.fixupsGlobal = append(gen.fixupsGlobal, fx)
+		}
+	}
+	return nil
+}
+
+func (gen *generator) resolveFixups() {
+	for _, fx := range gen.fixupsGlobal {
+		switch fx.kind {
+		case fixProc:
+			if pi, ok := gen.prog.Procs[fx.name]; ok {
+				gen.code[fx.at].Target = pi.Entry
+			}
+		case fixLIProc:
+			if pi, ok := gen.prog.Procs[fx.name]; ok {
+				gen.code[fx.at].Imm = int64(machine.CodeAddr(pi.Entry))
+			} else if i, ok := gen.fidx[fx.name]; ok {
+				gen.code[fx.at].Imm = int64(machine.ForeignAddr(i))
+			}
+		case fixGlobalLoad, fixGlobalStore:
+			gen.code[fx.at].Imm = int64(gen.prog.GlobalAddr[fx.name])
+		}
+	}
+}

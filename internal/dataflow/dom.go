@@ -1,0 +1,139 @@
+package dataflow
+
+import "cmm/internal/cfg"
+
+// DomTree holds immediate dominators and dominance frontiers for a
+// graph, computed with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	Graph    *cfg.Graph
+	Order    []*cfg.Node       // reverse postorder
+	Index    map[*cfg.Node]int // node -> RPO index
+	IDom     map[*cfg.Node]*cfg.Node
+	Children map[*cfg.Node][]*cfg.Node
+	Frontier map[*cfg.Node][]*cfg.Node
+}
+
+// ComputeDominators builds the dominator tree of g over its flow edges.
+func ComputeDominators(g *cfg.Graph) *DomTree {
+	// Reverse postorder over flow successors.
+	var post []*cfg.Node
+	seen := map[*cfg.Node]bool{}
+	var dfs func(n *cfg.Node)
+	dfs = func(n *cfg.Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range n.FlowSuccs() {
+			dfs(s)
+		}
+		post = append(post, n)
+	}
+	dfs(g.Entry)
+	order := make([]*cfg.Node, len(post))
+	for i, n := range post {
+		order[len(post)-1-i] = n
+	}
+	index := map[*cfg.Node]int{}
+	for i, n := range order {
+		index[n] = i
+	}
+
+	preds := map[*cfg.Node][]*cfg.Node{}
+	for _, n := range order {
+		for _, s := range n.FlowSuccs() {
+			if _, ok := index[s]; ok {
+				preds[s] = append(preds[s], n)
+			}
+		}
+	}
+
+	idom := map[*cfg.Node]*cfg.Node{g.Entry: g.Entry}
+	intersect := func(a, b *cfg.Node) *cfg.Node {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range order {
+			if n == g.Entry {
+				continue
+			}
+			var newIdom *cfg.Node
+			for _, p := range preds[n] {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[n] != newIdom {
+				idom[n] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	dt := &DomTree{
+		Graph: g, Order: order, Index: index, IDom: idom,
+		Children: map[*cfg.Node][]*cfg.Node{},
+		Frontier: map[*cfg.Node][]*cfg.Node{},
+	}
+	for _, n := range order {
+		if n != g.Entry && idom[n] != nil {
+			dt.Children[idom[n]] = append(dt.Children[idom[n]], n)
+		}
+	}
+	// Dominance frontiers.
+	for _, n := range order {
+		if len(preds[n]) < 2 {
+			continue
+		}
+		for _, p := range preds[n] {
+			runner := p
+			for runner != nil && runner != idom[n] {
+				dt.Frontier[runner] = appendUnique(dt.Frontier[runner], n)
+				next := idom[runner]
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return dt
+}
+
+func appendUnique(ns []*cfg.Node, n *cfg.Node) []*cfg.Node {
+	for _, x := range ns {
+		if x == n {
+			return ns
+		}
+	}
+	return append(ns, n)
+}
+
+// Dominates reports whether a dominates b.
+func (dt *DomTree) Dominates(a, b *cfg.Node) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := dt.IDom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}

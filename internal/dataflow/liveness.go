@@ -1,0 +1,134 @@
+package dataflow
+
+import (
+	"sort"
+
+	"cmm/internal/cfg"
+)
+
+// Liveness holds per-node live-variable sets for a graph's local
+// variables. Globals are modelled as always live (a C-- global register
+// is visible to every other procedure), so they never appear in the
+// sets; the optimizer must not delete assignments to them.
+type Liveness struct {
+	Graph *cfg.Graph
+	In    map[*cfg.Node]map[string]bool
+	Out   map[*cfg.Node]map[string]bool
+}
+
+// ComputeLiveness runs backward live-variable analysis over the graph's
+// flow edges — including the bundle edges introduced by the
+// also-annotations, which is precisely what keeps values used by
+// exception handlers alive across calls (§6).
+func ComputeLiveness(g *cfg.Graph) *Liveness {
+	lv := &Liveness{
+		Graph: g,
+		In:    map[*cfg.Node]map[string]bool{},
+		Out:   map[*cfg.Node]map[string]bool{},
+	}
+	nodes := g.Nodes()
+	isLocal := func(v string) bool {
+		_, ok := g.Locals[v]
+		return ok
+	}
+	use := map[*cfg.Node]map[string]bool{}
+	def := map[*cfg.Node]map[string]bool{}
+	for _, n := range nodes {
+		ef := NodeEffects(n, nil)
+		u, d := map[string]bool{}, map[string]bool{}
+		for v := range ef.VarUses() {
+			if isLocal(v) {
+				u[v] = true
+			}
+		}
+		for v := range ef.VarDefs() {
+			if isLocal(v) {
+				d[v] = true
+			}
+		}
+		// A continuation name bound at Entry is defined there; uses of it
+		// (passing k to a procedure) count as uses of a local-like value.
+		use[n], def[n] = u, d
+		lv.In[n] = map[string]bool{}
+		lv.Out[n] = map[string]bool{}
+	}
+	// Iterate to a fixed point, visiting in reverse order for speed.
+	changed := true
+	for changed {
+		changed = false
+		for i := len(nodes) - 1; i >= 0; i-- {
+			n := nodes[i]
+			out := map[string]bool{}
+			for _, s := range n.FlowSuccs() {
+				for v := range lv.In[s] {
+					out[v] = true
+				}
+			}
+			in := map[string]bool{}
+			for v := range out {
+				if !def[n][v] {
+					in[v] = true
+				}
+			}
+			for v := range use[n] {
+				in[v] = true
+			}
+			if !sameSet(out, lv.Out[n]) {
+				lv.Out[n] = out
+				changed = true
+			}
+			if !sameSet(in, lv.In[n]) {
+				lv.In[n] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveAcross reports the variables live across a call node: live on
+// entry to any of its bundle targets. These are the values a register
+// allocator would like to keep in callee-saves registers (§4.2).
+func (lv *Liveness) LiveAcross(call *cfg.Node) []string {
+	set := map[string]bool{}
+	if call.Bundle == nil {
+		return nil
+	}
+	for _, group := range [][]*cfg.Node{call.Bundle.Returns, call.Bundle.Unwinds, call.Bundle.Cuts} {
+		for _, t := range group {
+			for v := range lv.In[t] {
+				// Values (re)defined by the continuation's own CopyIn are
+				// passed in A, not preserved in registers.
+				redefined := false
+				if t.Kind == cfg.KindCopyIn {
+					for _, cv := range t.Vars {
+						if cv == v {
+							redefined = true
+						}
+					}
+				}
+				if !redefined {
+					set[v] = true
+				}
+			}
+		}
+	}
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}

@@ -1,0 +1,270 @@
+// Package dispatch implements front-end run-time systems for exception
+// dispatch over the C-- run-time interface (internal/rts). It contains
+// Go transliterations of the paper's two example dispatchers:
+//
+//   - Unwinding (Figure 9): walk the stack with FirstActivation and
+//     NextActivation; for each activation consult the exception
+//     descriptor the front end deposited at the suspended call site; on
+//     a match, SetActivation + SetUnwindCont (+ FindContParam for the
+//     argument) + Resume. Zero cost to enter a handler scope; dispatch
+//     cost proportional to stack depth.
+//
+//   - Exception stack (Appendix A.2): the program maintains a stack of
+//     handler continuations in memory; RAISE pops the top and cuts to
+//     it. Dispatch is constant time; entering and leaving a handler
+//     scope costs a push and a pop. The in-code version needs no
+//     run-time dispatcher at all; the run-time variant here serves
+//     raises that arrive as yields (e.g. from failing primitives).
+//
+//   - Handler register (§4.2's first choice): a single "exception
+//     continuation" in a global register; raising cuts to it.
+//
+// Both dispatchers speak the same yield protocol (Protocol below), so
+// one front end can switch policy without touching its compiled code's
+// semantics.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+
+	"cmm/internal/cfg"
+	"cmm/internal/rts"
+)
+
+// Yield protocol: the first yield argument says why the program yielded.
+const (
+	// YieldRaise: a1 = exception tag, a2 = exception argument.
+	YieldRaise = 1
+	// YieldDivZero is raised by synthesized slow-but-solid primitives
+	// (§4.3); the dispatcher rethrows it as the DivZeroTag exception.
+	YieldDivZero = cfg.YieldDivZero
+)
+
+// DivZeroTag is the exception tag the dispatchers use for arithmetic
+// failures surfaced by %%primitives.
+const DivZeroTag = 0xD1F0
+
+// WildcardTag in a descriptor row matches every exception; such rows
+// implement finalization (TRY-FINALLY): the handler runs cleanup and
+// re-raises, so it needs both the tag and the argument (ArgsTagAndValue).
+const WildcardTag = 0xFFFFFFFF
+
+// Values for a descriptor row's takes_arg field.
+const (
+	ArgsNone        = 0 // the continuation takes no parameters
+	ArgsValue       = 1 // the continuation takes the exception argument
+	ArgsTagAndValue = 2 // the continuation takes (tag, argument)
+)
+
+// ErrUnhandled reports that no activation on the stack handles the
+// raised exception — the dispatcher's equivalent of Figure 9's abort().
+var ErrUnhandled = errors.New("unhandled exception: no activation has a matching handler")
+
+// Descriptor layout in simulated memory (the struct exn_descriptor of
+// Figure 9):
+//
+//	word 0:           handler_count
+//	words 1+3i..3i+3: { exn_tag, cont_num, takes_arg }
+//
+// All fields are 32-bit little-endian words.
+const (
+	descCountOff  = 0
+	descEntrySize = 12
+	descEntryBase = 4
+	descTagOff    = 0
+	descContOff   = 4
+	descTakesArg  = 8
+)
+
+// UnwindDispatcher is the Figure 9 dispatcher: it finds a handler by
+// walking activations and reading their descriptors.
+type UnwindDispatcher struct {
+	// Trace, when non-nil, receives one line per visited activation (for
+	// the examples and for debugging front ends).
+	Trace func(string)
+}
+
+// Dispatch handles a yield with the given arguments.
+func (d *UnwindDispatcher) Dispatch(t rts.Thread, args []uint64) error {
+	tag, arg, err := decodeRaise(args)
+	if err != nil {
+		return err
+	}
+	a, ok := t.FirstActivation()
+	if !ok {
+		return ErrUnhandled
+	}
+	for {
+		if d.Trace != nil {
+			d.Trace(fmt.Sprintf("activation %s: %d descriptor(s)", a.ProcName(), a.DescriptorCount()))
+		}
+		if desc, ok := a.GetDescriptor(0); ok {
+			contNum, takes, found, err := lookupHandler(t, desc, tag)
+			if err != nil {
+				return err
+			}
+			if found {
+				t.SetActivation(a)       // unwind stack
+				t.SetUnwindCont(contNum) // choose handler
+				switch takes {
+				case ArgsValue:
+					t.SetContParam(0, arg) // assign result
+				case ArgsTagAndValue:
+					t.SetContParam(0, tag)
+					t.SetContParam(1, arg)
+				}
+				return t.Resume()
+			}
+		}
+		a, ok = a.NextActivation()
+		if !ok {
+			return ErrUnhandled // unhandled exception: dump core
+		}
+	}
+}
+
+// lookupHandler scans an exn_descriptor for a handler of tag; a
+// WildcardTag row matches anything (finalization).
+func lookupHandler(t rts.Thread, desc, tag uint64) (contNum, takes int, found bool, err error) {
+	count, err := t.LoadWord(desc+descCountOff, 4)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for i := uint64(0); i < count; i++ {
+		base := desc + descEntryBase + i*descEntrySize
+		htag, err := t.LoadWord(base+descTagOff, 4)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if htag != tag && htag != WildcardTag {
+			continue
+		}
+		cont, err := t.LoadWord(base+descContOff, 4)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		ta, err := t.LoadWord(base+descTakesArg, 4)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return int(cont), int(ta), true, nil
+	}
+	return 0, 0, false, nil
+}
+
+// WriteDescriptor encodes an exn_descriptor at addr and returns the
+// first address past it (for tests and front ends that build descriptors
+// at run time; compiled front ends put them in data sections).
+func WriteDescriptor(t rts.Thread, addr uint64, handlers []Handler) (uint64, error) {
+	if err := t.StoreWord(addr+descCountOff, uint64(len(handlers)), 4); err != nil {
+		return 0, err
+	}
+	for i, h := range handlers {
+		base := addr + descEntryBase + uint64(i)*descEntrySize
+		if err := t.StoreWord(base+descTagOff, h.Tag, 4); err != nil {
+			return 0, err
+		}
+		if err := t.StoreWord(base+descContOff, uint64(h.ContNum), 4); err != nil {
+			return 0, err
+		}
+		if err := t.StoreWord(base+descTakesArg, uint64(h.Args), 4); err != nil {
+			return 0, err
+		}
+	}
+	return addr + descEntryBase + uint64(len(handlers))*descEntrySize, nil
+}
+
+// Handler is one row of an exception descriptor. Args is one of
+// ArgsNone, ArgsValue, ArgsTagAndValue.
+type Handler struct {
+	Tag     uint64
+	ContNum int
+	Args    int
+}
+
+// ExnStackDispatcher handles raises that arrive as yields under the
+// exception-stack (cutting) policy: it pops the handler continuation the
+// program pushed and cuts to it. ExnTopGlobal names the C-- global
+// register holding the stack top (Figure 10's exn_top).
+type ExnStackDispatcher struct {
+	ExnTopGlobal string
+	WordSize     uint64 // size of one stack slot (the native word, 4)
+}
+
+// Dispatch pops the current handler and cuts to it with (tag, arg).
+func (d *ExnStackDispatcher) Dispatch(t rts.Thread, args []uint64) error {
+	tag, arg, err := decodeRaise(args)
+	if err != nil {
+		return err
+	}
+	ws := d.WordSize
+	if ws == 0 {
+		ws = 4
+	}
+	top, ok := t.GlobalWord(d.ExnTopGlobal)
+	if !ok {
+		return fmt.Errorf("exception-stack dispatcher: no global %s", d.ExnTopGlobal)
+	}
+	k, err := t.LoadWord(top, int(ws)) // fetch current handler from stack
+	if err != nil {
+		return err
+	}
+	if k == 0 {
+		return ErrUnhandled
+	}
+	t.SetGlobalWord(d.ExnTopGlobal, top-ws) // pop stack
+	if err := t.SetCutToCont(k); err != nil {
+		return err
+	}
+	t.SetContParam(0, tag)
+	t.SetContParam(1, arg)
+	return t.Resume() // invoke the handler
+}
+
+// RegisterDispatcher implements §4.2's first stack-cutting choice: the
+// program keeps a single exception continuation in a global register;
+// raising cuts to it.
+type RegisterDispatcher struct {
+	HandlerGlobal string
+}
+
+// Dispatch cuts to the continuation in the handler register.
+func (d *RegisterDispatcher) Dispatch(t rts.Thread, args []uint64) error {
+	tag, arg, err := decodeRaise(args)
+	if err != nil {
+		return err
+	}
+	k, ok := t.GlobalWord(d.HandlerGlobal)
+	if !ok || k == 0 {
+		return ErrUnhandled
+	}
+	if err := t.SetCutToCont(k); err != nil {
+		return err
+	}
+	t.SetContParam(0, tag)
+	t.SetContParam(1, arg)
+	return t.Resume()
+}
+
+// decodeRaise interprets the yield protocol: an explicit raise carries
+// (YieldRaise, tag, arg); a failing solid primitive carries its failure
+// code alone and is rethrown as DivZeroTag.
+func decodeRaise(args []uint64) (tag, arg uint64, err error) {
+	if len(args) == 0 {
+		return 0, 0, fmt.Errorf("yield with no arguments: not a raise")
+	}
+	switch args[0] {
+	case YieldRaise:
+		if len(args) >= 3 {
+			return args[1], args[2], nil
+		}
+		if len(args) == 2 {
+			return args[1], 0, nil
+		}
+		return 0, 0, fmt.Errorf("raise yield needs a tag")
+	case YieldDivZero, cfg.YieldOverflow:
+		return DivZeroTag, 0, nil
+	}
+	return 0, 0, fmt.Errorf("unknown yield code %#x", args[0])
+}

@@ -1,0 +1,390 @@
+package dispatch
+
+import (
+	"strings"
+	"testing"
+
+	"cmm/internal/cfg"
+	"cmm/internal/check"
+	"cmm/internal/codegen"
+	"cmm/internal/rts"
+	"cmm/internal/sem"
+	"cmm/internal/syntax"
+	"cmm/internal/vm"
+)
+
+func buildCFG(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	prog, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := cfg.Build(prog, info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+// dispatcherFunc adapts a Dispatch method to both machines' runtime
+// hooks.
+type dispatcherFunc func(t rts.Thread, args []uint64) error
+
+// runBoth executes proc on both the abstract machine and the compiled
+// machine with the same dispatcher and requires the results to agree.
+func runBoth(t *testing.T, src, proc string, d dispatcherFunc, args ...uint64) uint64 {
+	t.Helper()
+	// Abstract machine.
+	p1 := buildCFG(t, src)
+	m, err := sem.New(p1, sem.WithMaxSteps(2_000_000), sem.WithRuntime(
+		sem.RuntimeFunc(func(m *sem.Machine, vals []sem.Value) error {
+			args := make([]uint64, len(vals))
+			for i, v := range vals {
+				args[i] = v.Bits
+			}
+			return d(rts.SemThread{M: m}, args)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	semRes, err := m.Run(proc, args...)
+	if err != nil {
+		t.Fatalf("sem run: %v", err)
+	}
+	// Compiled machine.
+	p2 := buildCFG(t, src)
+	cp, err := codegen.Compile(p2, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := vm.NewInstance(cp, vm.WithRuntime(vm.RuntimeFunc(
+		func(th *vm.Thread, args []uint64) error {
+			return d(rts.VMThread{T: th}, args)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmRes, err := inst.Run(proc, args...)
+	if err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	if len(semRes) > 0 && semRes[0].Bits != vmRes[0] {
+		t.Fatalf("machines disagree: sem %d vs compiled %d", semRes[0].Bits, vmRes[0])
+	}
+	if len(semRes) == 0 {
+		return 0
+	}
+	return semRes[0].Bits
+}
+
+// The Figure 8/9 scenario: TryAMove-like procedure with two handlers
+// reached by run-time stack unwinding through a static descriptor.
+const unwindSrc = `
+section "data" {
+    /* exn_descriptor: count=2; {tag 101 -> cont 0, takes arg},
+       {tag 102 -> cont 1, no arg} */
+    tryDesc: bits32 2,  101, 0, 1,  102, 1, 0;
+}
+bits32 movesTried;
+TryAMove(bits32 which) {
+    bits32 s, t, r;
+    t = getMove(which) also unwinds to k1, k2 also aborts descriptors(tryDesc);
+    r = t + 1;
+finish:
+    movesTried = movesTried + 1;
+    return (r);
+continuation k1(s):
+    r = 1000 + s;
+    goto finish;
+continuation k2:
+    r = 2000;
+    goto finish;
+}
+getMove(bits32 which) {
+    if which == 1 {
+        raiseBadMove() also aborts;
+    }
+    if which == 2 {
+        raiseNoMoreTiles() also aborts;
+    }
+    return (5);
+}
+raiseBadMove() {
+    yield(1, 101, 7) also aborts;     /* RAISE BadMove(7) */
+    return ();
+}
+raiseNoMoreTiles() {
+    yield(1, 102, 0) also aborts;     /* RAISE NoMoreTiles */
+    return ();
+}
+`
+
+func TestFigure9Dispatcher(t *testing.T) {
+	d := &UnwindDispatcher{}
+	f := d.Dispatch
+	if got := runBoth(t, unwindSrc, "TryAMove", f, 0); got != 6 {
+		t.Errorf("normal path: %d, want 6", got)
+	}
+	if got := runBoth(t, unwindSrc, "TryAMove", f, 1); got != 1007 {
+		t.Errorf("BadMove path: %d, want 1007", got)
+	}
+	if got := runBoth(t, unwindSrc, "TryAMove", f, 2); got != 2000 {
+		t.Errorf("NoMoreTiles path: %d, want 2000", got)
+	}
+}
+
+func TestFigure9UnhandledAborts(t *testing.T) {
+	src := `
+f() {
+    g() also aborts;
+    return (1);
+}
+g() {
+    yield(1, 999, 0) also aborts;
+    return ();
+}
+`
+	d := &UnwindDispatcher{}
+	p := buildCFG(t, src)
+	m, err := sem.New(p, sem.WithMaxSteps(100000), sem.WithRuntime(
+		sem.RuntimeFunc(func(m *sem.Machine, vals []sem.Value) error {
+			args := make([]uint64, len(vals))
+			for i, v := range vals {
+				args[i] = v.Bits
+			}
+			return d.Dispatch(rts.SemThread{M: m}, args)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run("f")
+	if err == nil || !strings.Contains(err.Error(), "unhandled exception") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFigure9NestedHandlers(t *testing.T) {
+	// The dispatcher must find the innermost matching handler: outer
+	// handles 101, inner handles 102; raising 101 from inside the inner
+	// scope reaches the OUTER handler.
+	src := `
+section "data" {
+    outerDesc: bits32 1,  101, 0, 1;
+    innerDesc: bits32 1,  102, 0, 0;
+}
+outer(bits32 tag) {
+    bits32 s, r;
+    r = inner(tag) also unwinds to kOuter also aborts descriptors(outerDesc);
+    return (r);
+continuation kOuter(s):
+    return (100 + s);
+}
+inner(bits32 tag) {
+    bits32 r;
+    r = doRaise(tag) also unwinds to kInner also aborts descriptors(innerDesc);
+    return (r);
+continuation kInner:
+    return (200);
+}
+doRaise(bits32 tag) {
+    if tag == 0 {
+        return (1);
+    }
+    yield(1, tag, 9) also aborts;
+    return (0);
+}
+`
+	d := &UnwindDispatcher{}
+	f := d.Dispatch
+	if got := runBoth(t, src, "outer", f, 0); got != 1 {
+		t.Errorf("normal: %d", got)
+	}
+	if got := runBoth(t, src, "outer", f, 102); got != 200 {
+		t.Errorf("inner handler: %d", got)
+	}
+	if got := runBoth(t, src, "outer", f, 101); got != 109 {
+		t.Errorf("outer handler across inner scope: %d", got)
+	}
+}
+
+// Exception-stack scenario (Appendix A.2): handlers pushed in code,
+// raise arrives as a yield (e.g. from library code that cannot cut
+// directly).
+const exnStackSrc = `
+bits32 exn_top;
+setup(bits32 base, bits32 which) {
+    bits32 r;
+    exn_top = base;
+    r = withHandler(which) also cuts to junk;
+    return (r);
+continuation junk(r):
+    return (r);
+}
+withHandler(bits32 which) {
+    bits32 t, exn_tag, arg;
+    exn_top = exn_top + 4;
+    bits32[exn_top] = k;              /* push handler */
+    t = work(which) also cuts to k;
+    exn_top = exn_top - 4;            /* leave TRY */
+    return (t);
+continuation k(exn_tag, arg):
+    if exn_tag == 101 {
+        return (1000 + arg);
+    }
+    return (2000);
+}
+work(bits32 which) {
+    if which == 1 {
+        yield(1, 101, 7) also aborts;
+    }
+    return (5);
+}
+`
+
+func TestExnStackDispatcher(t *testing.T) {
+	d := &ExnStackDispatcher{ExnTopGlobal: "exn_top"}
+	f := d.Dispatch
+	// base address for the exception stack: scratch memory.
+	if got := runBoth(t, exnStackSrc, "setup", f, 0x9000, 0); got != 5 {
+		t.Errorf("normal: %d", got)
+	}
+	if got := runBoth(t, exnStackSrc, "setup", f, 0x9000, 1); got != 1007 {
+		t.Errorf("raise: %d", got)
+	}
+}
+
+func TestExnStackEmptyUnhandled(t *testing.T) {
+	src := `
+bits32 exn_top;
+f(bits32 base) {
+    exn_top = base;
+    yield(1, 101, 0) also aborts;
+    return (1);
+}
+`
+	d := &ExnStackDispatcher{ExnTopGlobal: "exn_top"}
+	p := buildCFG(t, src)
+	m, err := sem.New(p, sem.WithMaxSteps(100000), sem.WithRuntime(
+		sem.RuntimeFunc(func(m *sem.Machine, vals []sem.Value) error {
+			args := make([]uint64, len(vals))
+			for i, v := range vals {
+				args[i] = v.Bits
+			}
+			return d.Dispatch(rts.SemThread{M: m}, args)
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("f", 0x9000); err == nil {
+		t.Fatal("expected unhandled exception")
+	}
+}
+
+const registerSrc = `
+bits32 handler;
+f(bits32 which) {
+    bits32 r, tag, arg;
+    handler = k;
+    r = work(which) also cuts to k;
+    handler = 0;
+    return (r);
+continuation k(tag, arg):
+    handler = 0;
+    return (1000 + arg);
+}
+work(bits32 which) {
+    if which == 1 {
+        yield(1, 101, 7) also aborts;
+    }
+    return (5);
+}
+`
+
+func TestRegisterDispatcher(t *testing.T) {
+	d := &RegisterDispatcher{HandlerGlobal: "handler"}
+	f := d.Dispatch
+	if got := runBoth(t, registerSrc, "f", f, 0); got != 5 {
+		t.Errorf("normal: %d", got)
+	}
+	if got := runBoth(t, registerSrc, "f", f, 1); got != 1007 {
+		t.Errorf("raise: %d", got)
+	}
+}
+
+func TestSolidPrimitiveBecomesException(t *testing.T) {
+	// %%divu failure yields DIVZERO; the unwinding dispatcher rethrows
+	// it as DivZeroTag, caught like any other exception.
+	src := `
+section "data" {
+    divDesc: bits32 1,  53744, 0, 0;   /* 53744 == 0xD1F0 (DivZeroTag) */
+}
+safeDiv(bits32 p, bits32 q) {
+    bits32 r;
+    r = div2(p, q) also unwinds to dz also aborts descriptors(divDesc);
+    return (r);
+continuation dz:
+    return (4294967295);    /* all-ones sentinel */
+}
+div2(bits32 p, bits32 q) {
+    bits32 r;
+    r = %%divu(p, q) also aborts;
+    return (r);
+}
+`
+	d := &UnwindDispatcher{}
+	f := d.Dispatch
+	if got := runBoth(t, src, "safeDiv", f, 10, 2); got != 5 {
+		t.Errorf("normal: %d", got)
+	}
+	if got := runBoth(t, src, "safeDiv", f, 10, 0); got != 0xFFFFFFFF {
+		t.Errorf("divide by zero: %#x", got)
+	}
+}
+
+func TestWriteDescriptorRoundTrip(t *testing.T) {
+	p := buildCFG(t, `f() { return (); }`)
+	m, err := sem.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rts.SemThread{M: m}
+	handlers := []Handler{
+		{Tag: 101, ContNum: 0, Args: ArgsValue},
+		{Tag: 102, ContNum: 1, Args: ArgsNone},
+	}
+	end, err := WriteDescriptor(th, 0x9000, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0x9000+4+2*12 {
+		t.Errorf("end = %#x", end)
+	}
+	cont, takes, found, err := lookupHandler(th, 0x9000, 102)
+	if err != nil || !found || cont != 1 || takes != ArgsNone {
+		t.Errorf("lookup 102: cont=%d takes=%v found=%v err=%v", cont, takes, found, err)
+	}
+	if _, _, found, _ := lookupHandler(th, 0x9000, 999); found {
+		t.Error("lookup 999 must miss")
+	}
+}
+
+func TestDecodeRaise(t *testing.T) {
+	if _, _, err := decodeRaise(nil); err == nil {
+		t.Error("empty yield must error")
+	}
+	tag, arg, err := decodeRaise([]uint64{YieldRaise, 5, 6})
+	if err != nil || tag != 5 || arg != 6 {
+		t.Errorf("raise: %d %d %v", tag, arg, err)
+	}
+	tag, _, err = decodeRaise([]uint64{cfg.YieldDivZero})
+	if err != nil || tag != DivZeroTag {
+		t.Errorf("divzero: %d %v", tag, err)
+	}
+	if _, _, err := decodeRaise([]uint64{0x999}); err == nil {
+		t.Error("unknown code must error")
+	}
+}

@@ -1,0 +1,201 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+
+	"cmm/internal/codegen"
+	"cmm/internal/rts"
+	"cmm/internal/sem"
+	"cmm/internal/vm"
+)
+
+// One scenario, four implementation techniques (§2): compute 2*x through
+// two stack frames, but raise back to f's handler (which returns 1000+x)
+// when x is even. Every variant must agree on every input and on both
+// machines — the paper's thesis in one test.
+
+const fourCut = `
+f(bits32 x) {
+    bits32 r;
+    r = mid(x, k) also cuts to k;
+    return (r);
+continuation k(r):
+    return (1000 + r);
+}
+mid(bits32 x, bits32 kv) {
+    bits32 r;
+    r = leaf(x, kv) also aborts;
+    return (r);
+}
+leaf(bits32 x, bits32 kv) {
+    if (x & 1) == 0 {
+        cut to kv(x) also aborts;
+    }
+    return (x * 2);
+}
+`
+
+const fourRuntimeUnwind = `
+section "data" {
+    desc: bits32 1,  5, 0, 1;
+}
+f(bits32 x) {
+    bits32 r;
+    r = mid(x) also unwinds to k also aborts descriptors(desc);
+    return (r);
+continuation k(r):
+    return (1000 + r);
+}
+mid(bits32 x) {
+    bits32 r;
+    r = leaf(x) also aborts;
+    return (r);
+}
+leaf(bits32 x) {
+    if (x & 1) == 0 {
+        yield(1, 5, x) also aborts;
+    }
+    return (x * 2);
+}
+`
+
+const fourNativeUnwind = `
+f(bits32 x) {
+    bits32 r;
+    r = mid(x) also returns to k;
+    return (r);
+continuation k(r):
+    return (1000 + r);
+}
+mid(bits32 x) {
+    bits32 r;
+    r = leaf(x) also returns to kx;
+    return <1/1> (r);
+continuation kx(r):
+    return <0/1> (r);
+}
+leaf(bits32 x) {
+    if (x & 1) == 0 {
+        return <0/1> (x);
+    }
+    return <1/1> (x * 2);
+}
+`
+
+const fourCPS = `
+f(bits32 x) {
+    bits32 r;
+    r = mid(x, fhandler);
+    return (r);
+}
+fhandler(bits32 r) {
+    return (1000 + r);
+}
+mid(bits32 x, bits32 h) {
+    bits32 r;
+    r = leaf(x, h);
+    return (r);
+}
+leaf(bits32 x, bits32 h) {
+    if (x & 1) == 0 {
+        jump h(x);
+    }
+    return (x * 2);
+}
+`
+
+// fourCPSNote: under CPS the handler returns to leaf's caller (mid),
+// whose result flows back up — so the handler's value passes through
+// mid and f unchanged, same observable as the others.
+
+func TestFourTechniquesAgree(t *testing.T) {
+	variants := []struct {
+		name string
+		src  string
+		disp func(rts.Thread, []uint64) error
+	}{
+		{"cutting", fourCut, nil},
+		{"runtime-unwind", fourRuntimeUnwind, func(th rts.Thread, args []uint64) error {
+			a, ok := th.FirstActivation()
+			if !ok {
+				return fmt.Errorf("no activations")
+			}
+			for a.UnwindContCount() == 0 {
+				a, ok = a.NextActivation()
+				if !ok {
+					return fmt.Errorf("no handler")
+				}
+			}
+			th.SetActivation(a)
+			th.SetUnwindCont(0)
+			th.SetContParam(0, args[2])
+			return th.Resume()
+		}},
+		{"native-unwind", fourNativeUnwind, nil},
+		{"cps", fourCPS, nil},
+	}
+
+	want := func(x uint64) uint64 {
+		if x&1 == 0 {
+			return 1000 + x
+		}
+		return 2 * x
+	}
+
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			// Compiled machine.
+			cp, err := codegen.Compile(buildCFG(t, v.src), codegen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var vopts []vm.Option
+			if v.disp != nil {
+				d := v.disp
+				vopts = append(vopts, vm.WithRuntime(vm.RuntimeFunc(func(th *vm.Thread, args []uint64) error {
+					return d(rts.VMThread{T: th}, args)
+				})))
+			}
+			inst, err := vm.NewInstance(cp, vopts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Abstract machine.
+			p := buildCFG(t, v.src)
+			var sopts []sem.Option
+			sopts = append(sopts, sem.WithMaxSteps(1_000_000))
+			if v.disp != nil {
+				d := v.disp
+				sopts = append(sopts, sem.WithRuntime(sem.RuntimeFunc(
+					func(m *sem.Machine, vals []sem.Value) error {
+						args := make([]uint64, len(vals))
+						for i, val := range vals {
+							args[i] = val.Bits
+						}
+						return d(rts.SemThread{M: m}, args)
+					})))
+			}
+			m, err := sem.New(p, sopts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := uint64(0); x < 10; x++ {
+				got, err := inst.Run("f", x)
+				if err != nil {
+					t.Fatalf("compiled f(%d): %v", x, err)
+				}
+				ref, err := m.Run("f", x)
+				if err != nil {
+					t.Fatalf("semantics f(%d): %v", x, err)
+				}
+				if got[0] != want(x) {
+					t.Errorf("compiled f(%d) = %d, want %d", x, got[0], want(x))
+				}
+				if ref[0].Bits != want(x) {
+					t.Errorf("semantics f(%d) = %d, want %d", x, ref[0].Bits, want(x))
+				}
+			}
+		})
+	}
+}

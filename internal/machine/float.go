@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }
+
+// Disasm renders one instruction for debugging and code-size reports.
+func Disasm(i Instr) string {
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpLI:
+		return fmt.Sprintf("li %s, %d", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs)
+	case OpALU:
+		return fmt.Sprintf("%s.%d %s, %s, %s", aluName(i.Sub), i.Width, i.Rd, i.Rs, i.Rt)
+	case OpALUI:
+		return fmt.Sprintf("%si.%d %s, %s, %d", aluName(i.Sub), i.Width, i.Rd, i.Rs, i.Imm)
+	case OpFPU:
+		return fmt.Sprintf("f%s %s, %s, %s", aluName(i.Sub), i.Rd, i.Rs, i.Rt)
+	case OpLoad:
+		return fmt.Sprintf("ld.%d %s, %d(%s)", i.Size*8, i.Rd, i.Imm, i.Rs)
+	case OpStore:
+		return fmt.Sprintf("st.%d %s, %d(%s)", i.Size*8, i.Rt, i.Imm, i.Rs)
+	case OpBZ:
+		return fmt.Sprintf("bz %s, %d%s", i.Rs, i.Target, symSuffix(i))
+	case OpBNZ:
+		return fmt.Sprintf("bnz %s, %d%s", i.Rs, i.Target, symSuffix(i))
+	case OpJmp:
+		return fmt.Sprintf("jmp %d%s", i.Target, symSuffix(i))
+	case OpJmpR:
+		return fmt.Sprintf("jmpr %s", i.Rs)
+	case OpCall:
+		return fmt.Sprintf("call %d%s", i.Target, symSuffix(i))
+	case OpCallR:
+		return fmt.Sprintf("callr %s", i.Rs)
+	case OpRetOff:
+		return fmt.Sprintf("ret +%d", i.Imm)
+	case OpYield:
+		return "yield"
+	case OpForeign:
+		return fmt.Sprintf("foreign #%d%s", i.Imm, symSuffix(i))
+	case OpHalt:
+		return "halt"
+	case OpTrap:
+		return fmt.Sprintf("trap %q", i.Sym)
+	}
+	return fmt.Sprintf("op%d", i.Op)
+}
+
+func symSuffix(i Instr) string {
+	if i.Sym == "" {
+		return ""
+	}
+	return " <" + i.Sym + ">"
+}
+
+func aluName(op ALUOp) string {
+	names := []string{"add", "sub", "mul", "divu", "divs", "remu", "rems",
+		"and", "or", "xor", "shl", "shru", "eq", "ne", "ltu", "leu", "gtu",
+		"geu", "not", "neg", "com"}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return fmt.Sprintf("alu%d", op)
+}
+
+// DisasmAll renders a code listing.
+func DisasmAll(code []Instr) string {
+	var sb strings.Builder
+	for i, in := range code {
+		fmt.Fprintf(&sb, "%5d: %s\n", i, Disasm(in))
+	}
+	return sb.String()
+}

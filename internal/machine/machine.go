@@ -1,0 +1,611 @@
+// Package machine implements the simulated target machine on which
+// compiled C-- runs. The real paper targets SPARC/MIPS/Alpha; Go has no
+// user-visible registers or cuttable stack, so we substitute a
+// deterministic register machine with the features the paper's cost
+// arguments depend on:
+//
+//   - separate caller-saves and callee-saves register banks,
+//   - an explicit activation stack in simulated memory,
+//   - argument/result registers (the value-passing area A),
+//   - return-address-relative returns, enabling the branch-table method
+//     of Figures 3 and 4 (jmp %i7+8 / +12 / +16 on SPARC),
+//   - a cycle cost model, so that "constant-time cut vs. linear unwind"
+//     and "zero normal-case overhead" are measurable claims.
+//
+// Absolute cycle counts are synthetic; the shapes are what the
+// experiments in EXPERIMENTS.md reproduce.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Register numbers. The machine has 32 general registers.
+type Reg uint8
+
+// Register banks.
+const (
+	RZero Reg = 0 // always zero
+	RSP   Reg = 1 // stack pointer
+	RRA   Reg = 2 // return address
+	RGP   Reg = 3 // scratch for the runtime
+
+	RA0 Reg = 4 // argument/result registers a0..a7 (the area A)
+	RA7 Reg = 11
+
+	RT0 Reg = 12 // caller-saves temporaries t0..t7
+	RT7 Reg = 19
+
+	RS0 Reg = 20 // callee-saves s0..s7
+	RS7 Reg = 27
+
+	RX0 Reg = 28 // reserved scratch x0..x3 for code generation
+	RX3 Reg = 31
+
+	NumRegs = 32
+)
+
+// NumA is the number of argument/result registers.
+const NumA = int(RA7-RA0) + 1
+
+// NumS is the number of callee-saves registers.
+const NumS = int(RS7-RS0) + 1
+
+// NumT is the number of caller-saves temporaries.
+const NumT = int(RT7-RT0) + 1
+
+func (r Reg) String() string {
+	switch {
+	case r == RZero:
+		return "zero"
+	case r == RSP:
+		return "sp"
+	case r == RRA:
+		return "ra"
+	case r == RGP:
+		return "gp"
+	case r >= RA0 && r <= RA7:
+		return fmt.Sprintf("a%d", r-RA0)
+	case r >= RT0 && r <= RT7:
+		return fmt.Sprintf("t%d", r-RT0)
+	case r >= RS0 && r <= RS7:
+		return fmt.Sprintf("s%d", r-RS0)
+	case r >= RX0 && r <= RX3:
+		return fmt.Sprintf("x%d", r-RX0)
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop     Op = iota
+	OpLI         // rd := imm
+	OpMov        // rd := rs
+	OpALU        // rd := rs <aluop> rt
+	OpALUI       // rd := rs <aluop> imm
+	OpFPU        // rd := rs <fpuop> rt (float64 bit patterns)
+	OpLoad       // rd := mem[rs + imm] (Size bytes)
+	OpStore      // mem[rs + imm] := rt (Size bytes)
+	OpBZ         // if rs == 0: pc := Target
+	OpBNZ        // if rs != 0: pc := Target
+	OpJmp        // pc := Target
+	OpJmpR       // pc := rs (a code address)
+	OpCall       // ra := code address of pc+1; pc := Target
+	OpCallR      // ra := code address of pc+1; pc := rs
+	OpRetOff     // pc := ra + Imm instructions (branch-table return)
+	OpYield      // trap to the front-end run-time system
+	OpForeign    // call host function #Imm
+	OpHalt       // stop; results in a-registers
+	OpTrap       // deliberate trap: "went wrong" (e.g. %div fault path)
+)
+
+// ALU sub-operations for OpALU/OpALUI.
+type ALUOp uint8
+
+// ALU operations; comparison ops yield 0/1.
+const (
+	AAdd ALUOp = iota
+	ASub
+	AMul
+	ADivU
+	ADivS
+	ARemU
+	ARemS
+	AAnd
+	AOr
+	AXor
+	AShl
+	AShrU
+	AEq
+	ANe
+	ALtU
+	ALeU
+	AGtU
+	AGeU
+	ANot // unary: rd := rs == 0
+	ANeg // unary: rd := -rs
+	ACom // unary: rd := ^rs
+	AF2I // unary: rd := int(float64frombits(rs)); traps on NaN/overflow
+	AI2F // unary: rd := float64bits(float64(signextend(rs)))
+)
+
+// FPU sub-operations (operands are float64 bit patterns).
+const (
+	FAdd ALUOp = iota
+	FSub
+	FMul
+	FDiv
+	FEq
+	FNe
+	FLt
+	FLe
+	FGt
+	FGe
+)
+
+// Instr is one machine instruction.
+type Instr struct {
+	Op     Op
+	Sub    ALUOp
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Imm    int64
+	Target int    // resolved code index for branches/jumps/calls
+	Size   int    // bytes for Load/Store (1, 2, 4, 8)
+	Width  int    // operand width in bits for ALU ops (wraparound)
+	Sym    string // label/comment for disassembly
+}
+
+// CodeBase is added to instruction indices to form code addresses, so
+// code pointers and data pointers occupy disjoint ranges.
+const CodeBase = 0x40000000
+
+// ForeignBase is the start of the address range encoding foreign
+// (host-implemented) procedures, above all real code.
+const ForeignBase = CodeBase + 0x0F000000
+
+// CodeAddr converts an instruction index to a code address.
+func CodeAddr(idx int) uint64 { return uint64(CodeBase + idx) }
+
+// CodeIndex converts a code address back to an instruction index.
+func CodeIndex(addr uint64) (int, bool) {
+	if addr < CodeBase || addr >= ForeignBase {
+		return 0, false
+	}
+	return int(addr - CodeBase), true
+}
+
+// ForeignAddr encodes foreign-function index i as a fake code address.
+func ForeignAddr(i int) uint64 { return uint64(ForeignBase + i*16) }
+
+// ForeignIndex decodes a foreign address.
+func ForeignIndex(addr uint64) (int, bool) {
+	if addr < ForeignBase || (addr-ForeignBase)%16 != 0 {
+		return 0, false
+	}
+	return int(addr-ForeignBase) / 16, true
+}
+
+// Costs is the cycle cost model. The values are synthetic but fixed; the
+// experiments depend only on their relative magnitudes (memory traffic
+// costs more than register traffic; a trap to the run-time system costs
+// much more than an instruction).
+type Costs struct {
+	ALU     int64
+	Load    int64
+	Store   int64
+	Branch  int64
+	Jump    int64
+	Call    int64
+	Ret     int64
+	Yield   int64
+	Foreign int64
+}
+
+// DefaultCosts is the standard cost model.
+var DefaultCosts = Costs{
+	ALU:    1,
+	Load:   3,
+	Store:  3,
+	Branch: 1,
+	Jump:   1,
+	Call:   2,
+	Ret:    2,
+	// A yield reaches the front-end run-time system through the C--
+	// run-time interface: a trap plus C-call overhead.
+	Yield:   40,
+	Foreign: 10,
+}
+
+// Counters accumulates execution statistics.
+type Counters struct {
+	Cycles   int64
+	Instrs   int64
+	Loads    int64
+	Stores   int64
+	Branches int64
+	Calls    int64
+	Yields   int64
+}
+
+// Machine is the simulated CPU plus memory.
+type Machine struct {
+	Regs  [NumRegs]uint64
+	PC    int
+	Code  []Instr
+	Mem   []byte
+	Cost  Costs
+	Stats Counters
+
+	// Runtime hooks installed by the loader.
+	YieldHandler func(m *Machine) error
+	ForeignFuncs []func(m *Machine) error
+	halted       bool
+	// MaxInstrs bounds the instructions of a single Run (a divergence
+	// backstop); the counter itself accumulates across runs.
+	MaxInstrs int64
+	runStart  int64
+}
+
+// TrapError reports that the machine executed a trap or an illegal
+// operation — the compiled analogue of the abstract machine going wrong.
+type TrapError struct {
+	PC  int
+	Msg string
+}
+
+func (e *TrapError) Error() string { return fmt.Sprintf("machine trap at pc=%d: %s", e.PC, e.Msg) }
+
+// New creates a machine with the given memory size.
+func New(memSize int) *Machine {
+	return &Machine{Mem: make([]byte, memSize), Cost: DefaultCosts, MaxInstrs: 200_000_000}
+}
+
+func (m *Machine) trapf(format string, args ...any) error {
+	return &TrapError{PC: m.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+// LoadWord reads size bytes little-endian at addr.
+func (m *Machine) LoadWord(addr uint64, size int) (uint64, error) {
+	if addr+uint64(size) > uint64(len(m.Mem)) || addr+uint64(size) < addr {
+		return 0, m.trapf("load of %d bytes at %#x outside memory", size, addr)
+	}
+	var buf [8]byte
+	copy(buf[:], m.Mem[addr:addr+uint64(size)])
+	v := binary.LittleEndian.Uint64(buf[:])
+	if size < 8 {
+		v &= 1<<uint(8*size) - 1
+	}
+	return v, nil
+}
+
+// StoreWord writes size bytes little-endian at addr.
+func (m *Machine) StoreWord(addr, v uint64, size int) error {
+	if addr+uint64(size) > uint64(len(m.Mem)) || addr+uint64(size) < addr {
+		return m.trapf("store of %d bytes at %#x outside memory", size, addr)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	copy(m.Mem[addr:addr+uint64(size)], buf[:size])
+	return nil
+}
+
+// Halted reports whether the machine has executed Halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Run executes until Halt or an error. The caller must set PC and any
+// argument registers first.
+func (m *Machine) Run() error {
+	m.halted = false
+	m.runStart = m.Stats.Instrs
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func truncate(v uint64, width int) uint64 {
+	if width <= 0 || width >= 64 {
+		return v
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+func signExtend(v uint64, width int) int64 {
+	if width <= 0 || width >= 64 {
+		return int64(v)
+	}
+	shift := uint(64 - width)
+	return int64(v<<shift) >> shift
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	m.Stats.Instrs++
+	if m.Stats.Instrs-m.runStart > m.MaxInstrs {
+		return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
+	}
+	if m.PC < 0 || m.PC >= len(m.Code) {
+		return m.trapf("pc out of range")
+	}
+	in := m.Code[m.PC]
+	next := m.PC + 1
+	reg := func(r Reg) uint64 {
+		if r == RZero {
+			return 0
+		}
+		return m.Regs[r]
+	}
+	set := func(r Reg, v uint64) {
+		if r != RZero {
+			m.Regs[r] = v
+		}
+	}
+	switch in.Op {
+	case OpNop:
+		m.Stats.Cycles += m.Cost.ALU
+	case OpLI:
+		set(in.Rd, uint64(in.Imm))
+		m.Stats.Cycles += m.Cost.ALU
+	case OpMov:
+		set(in.Rd, reg(in.Rs))
+		m.Stats.Cycles += m.Cost.ALU
+	case OpALU, OpALUI:
+		var b uint64
+		if in.Op == OpALUI {
+			b = uint64(in.Imm)
+		} else {
+			b = reg(in.Rt)
+		}
+		v, err := aluOp(in.Sub, reg(in.Rs), b, in.Width)
+		if err != nil {
+			return m.trapf("%v", err)
+		}
+		set(in.Rd, v)
+		m.Stats.Cycles += m.Cost.ALU
+	case OpFPU:
+		v, err := fpuOp(in.Sub, reg(in.Rs), reg(in.Rt))
+		if err != nil {
+			return m.trapf("%v", err)
+		}
+		set(in.Rd, v)
+		m.Stats.Cycles += m.Cost.ALU
+	case OpLoad:
+		v, err := m.LoadWord(reg(in.Rs)+uint64(in.Imm), in.Size)
+		if err != nil {
+			return err
+		}
+		set(in.Rd, v)
+		m.Stats.Cycles += m.Cost.Load
+		m.Stats.Loads++
+	case OpStore:
+		if err := m.StoreWord(reg(in.Rs)+uint64(in.Imm), reg(in.Rt), in.Size); err != nil {
+			return err
+		}
+		m.Stats.Cycles += m.Cost.Store
+		m.Stats.Stores++
+	case OpBZ:
+		if reg(in.Rs) == 0 {
+			next = in.Target
+		}
+		m.Stats.Cycles += m.Cost.Branch
+		m.Stats.Branches++
+	case OpBNZ:
+		if reg(in.Rs) != 0 {
+			next = in.Target
+		}
+		m.Stats.Cycles += m.Cost.Branch
+		m.Stats.Branches++
+	case OpJmp:
+		next = in.Target
+		m.Stats.Cycles += m.Cost.Jump
+		m.Stats.Branches++
+	case OpJmpR:
+		m.Stats.Cycles += m.Cost.Jump
+		m.Stats.Branches++
+		if fi, isF := ForeignIndex(reg(in.Rs)); isF {
+			// A tail call to foreign code: run it, then return to the
+			// caller via ra.
+			if err := m.callForeign(fi); err != nil {
+				return err
+			}
+			idx, ok := CodeIndex(reg(RRA))
+			if !ok {
+				return m.trapf("foreign tail call with corrupt ra %#x", reg(RRA))
+			}
+			m.PC = idx
+			return nil
+		}
+		idx, ok := CodeIndex(reg(in.Rs))
+		if !ok {
+			return m.trapf("indirect jump to non-code address %#x", reg(in.Rs))
+		}
+		next = idx
+	case OpCall:
+		set(RRA, CodeAddr(m.PC+1))
+		next = in.Target
+		m.Stats.Cycles += m.Cost.Call
+		m.Stats.Calls++
+	case OpCallR:
+		m.Stats.Cycles += m.Cost.Call
+		m.Stats.Calls++
+		if fi, isF := ForeignIndex(reg(in.Rs)); isF {
+			// A direct-style call to foreign code: run it and continue.
+			if err := m.callForeign(fi); err != nil {
+				return err
+			}
+			m.PC = next
+			return nil
+		}
+		set(RRA, CodeAddr(m.PC+1))
+		idx, ok := CodeIndex(reg(in.Rs))
+		if !ok {
+			return m.trapf("indirect call to non-code address %#x", reg(in.Rs))
+		}
+		next = idx
+	case OpRetOff:
+		idx, ok := CodeIndex(reg(RRA))
+		if !ok {
+			return m.trapf("return with corrupt ra %#x", reg(RRA))
+		}
+		next = idx + int(in.Imm)
+		m.Stats.Cycles += m.Cost.Ret
+		m.Stats.Branches++
+	case OpYield:
+		m.Stats.Cycles += m.Cost.Yield
+		m.Stats.Yields++
+		if m.YieldHandler == nil {
+			return m.trapf("yield with no run-time system")
+		}
+		m.PC = next // the handler sees the resume point past the yield
+		if err := m.YieldHandler(m); err != nil {
+			return err
+		}
+		return nil // handler set PC
+	case OpForeign:
+		m.Stats.Cycles += m.Cost.Foreign
+		m.PC = next
+		if err := m.callForeign(int(in.Imm)); err != nil {
+			return err
+		}
+		return nil
+	case OpHalt:
+		m.halted = true
+		return nil
+	case OpTrap:
+		return m.trapf("trap: %s", in.Sym)
+	default:
+		return m.trapf("illegal opcode %d", in.Op)
+	}
+	m.PC = next
+	return nil
+}
+
+func (m *Machine) callForeign(idx int) error {
+	m.Stats.Cycles += m.Cost.Foreign
+	if idx < 0 || idx >= len(m.ForeignFuncs) {
+		return m.trapf("foreign function #%d not registered", idx)
+	}
+	return m.ForeignFuncs[idx](m)
+}
+
+func aluOp(op ALUOp, a, b uint64, width int) (uint64, error) {
+	boolv := func(c bool) (uint64, error) {
+		if c {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	switch op {
+	case AAdd:
+		return truncate(a+b, width), nil
+	case ASub:
+		return truncate(a-b, width), nil
+	case AMul:
+		return truncate(a*b, width), nil
+	case ADivU:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		return truncate(a/b, width), nil
+	case ADivS:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		return truncate(uint64(signExtend(a, width)/signExtend(b, width)), width), nil
+	case ARemU:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		return truncate(a%b, width), nil
+	case ARemS:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		return truncate(uint64(signExtend(a, width)%signExtend(b, width)), width), nil
+	case AAnd:
+		return a & b, nil
+	case AOr:
+		return a | b, nil
+	case AXor:
+		return a ^ b, nil
+	case AShl:
+		if b >= uint64(width) {
+			return 0, nil
+		}
+		return truncate(a<<b, width), nil
+	case AShrU:
+		if b >= uint64(width) {
+			return 0, nil
+		}
+		return truncate(a, width) >> b, nil
+	case AEq:
+		return boolv(a == b)
+	case ANe:
+		return boolv(a != b)
+	case ALtU:
+		return boolv(a < b)
+	case ALeU:
+		return boolv(a <= b)
+	case AGtU:
+		return boolv(a > b)
+	case AGeU:
+		return boolv(a >= b)
+	case ANot:
+		return boolv(a == 0)
+	case ANeg:
+		return truncate(-a, width), nil
+	case ACom:
+		return truncate(^a, width), nil
+	case AF2I:
+		f := float64FromBits(a)
+		if f != f || f > 9.22e18 || f < -9.22e18 {
+			return 0, fmt.Errorf("float-to-int conversion failed")
+		}
+		return truncate(uint64(int64(f)), width), nil
+	case AI2F:
+		return float64Bits(float64(signExtend(a, width))), nil
+	}
+	return 0, fmt.Errorf("bad alu op %d", op)
+}
+
+func fpuOp(op ALUOp, a, b uint64) (uint64, error) {
+	x := float64FromBits(a)
+	y := float64FromBits(b)
+	boolv := func(c bool) (uint64, error) {
+		if c {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	switch op {
+	case FAdd:
+		return float64Bits(x + y), nil
+	case FSub:
+		return float64Bits(x - y), nil
+	case FMul:
+		return float64Bits(x * y), nil
+	case FDiv:
+		return float64Bits(x / y), nil
+	case FEq:
+		return boolv(x == y)
+	case FNe:
+		return boolv(x != y)
+	case FLt:
+		return boolv(x < y)
+	case FLe:
+		return boolv(x <= y)
+	case FGt:
+		return boolv(x > y)
+	case FGe:
+		return boolv(x >= y)
+	}
+	return 0, fmt.Errorf("bad fpu op %d", op)
+}

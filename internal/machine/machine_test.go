@@ -1,0 +1,442 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// run executes code on a fresh machine until halt.
+func run(t *testing.T, code []Instr, setup func(*Machine)) *Machine {
+	t.Helper()
+	m := New(1 << 16)
+	m.Code = code
+	if setup != nil {
+		setup(m)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, DisasmAll(code))
+	}
+	return m
+}
+
+func TestALUBasics(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 40},
+		{Op: OpALUI, Sub: AAdd, Rd: RT0, Rs: RT0, Imm: 2, Width: 32},
+		{Op: OpMov, Rd: RA0, Rs: RT0},
+		{Op: OpHalt},
+	}
+	m := run(t, code, nil)
+	if m.Regs[RA0] != 42 {
+		t.Errorf("got %d", m.Regs[RA0])
+	}
+	if m.Stats.Instrs != 4 {
+		t.Errorf("instrs = %d", m.Stats.Instrs)
+	}
+}
+
+func TestWidthWraparound(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 0xFFFFFFFF},
+		{Op: OpALUI, Sub: AAdd, Rd: RA0, Rs: RT0, Imm: 1, Width: 32},
+		{Op: OpALUI, Sub: AAdd, Rd: RA1 - 0, Rs: RT0, Imm: 1, Width: 64},
+		{Op: OpHalt},
+	}
+	m := run(t, code, nil)
+	if m.Regs[RA0] != 0 {
+		t.Errorf("32-bit wrap: %d", m.Regs[RA0])
+	}
+	if m.Regs[RA0+1] != 0x100000000 {
+		t.Errorf("64-bit: %d", m.Regs[RA0+1])
+	}
+}
+
+const RA1 = RA0 + 1
+
+func TestZeroRegisterIsAlwaysZero(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RZero, Imm: 99}, // write is discarded
+		{Op: OpMov, Rd: RA0, Rs: RZero},
+		{Op: OpHalt},
+	}
+	m := run(t, code, nil)
+	if m.Regs[RA0] != 0 {
+		t.Errorf("zero register held %d", m.Regs[RA0])
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 0x1000},
+		{Op: OpLI, Rd: RT0 + 1, Imm: -1}, // all ones
+		{Op: OpStore, Rs: RT0, Rt: RT0 + 1, Imm: 0, Size: 1},
+		{Op: OpStore, Rs: RT0, Rt: RT0 + 1, Imm: 8, Size: 4},
+		{Op: OpLoad, Rd: RA0, Rs: RT0, Imm: 0, Size: 4},
+		{Op: OpLoad, Rd: RA0 + 1, Rs: RT0, Imm: 8, Size: 8},
+		{Op: OpHalt},
+	}
+	m := run(t, code, nil)
+	if m.Regs[RA0] != 0xFF {
+		t.Errorf("byte store leaked: %#x", m.Regs[RA0])
+	}
+	if m.Regs[RA0+1] != 0xFFFFFFFF {
+		t.Errorf("word store: %#x", m.Regs[RA0+1])
+	}
+	if m.Stats.Loads != 2 || m.Stats.Stores != 2 {
+		t.Errorf("counters: %+v", m.Stats)
+	}
+}
+
+func TestBranches(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 0},
+		{Op: OpBZ, Rs: RT0, Target: 4},
+		{Op: OpLI, Rd: RA0, Imm: 1}, // skipped
+		{Op: OpHalt},
+		{Op: OpLI, Rd: RA0, Imm: 2},
+		{Op: OpHalt},
+	}
+	m := run(t, code, nil)
+	if m.Regs[RA0] != 2 {
+		t.Errorf("bz not taken: %d", m.Regs[RA0])
+	}
+}
+
+func TestCallRetOff(t *testing.T) {
+	// Branch-table shape: call at 0; table at 1..2; normal landing at 3.
+	code := []Instr{
+		{Op: OpCall, Target: 7},       // 0
+		{Op: OpJmp, Target: 5},        // 1: alt 0
+		{Op: OpJmp, Target: 6},        // 2: alt 1
+		{Op: OpLI, Rd: RA0, Imm: 100}, // 3: normal
+		{Op: OpHalt},                  // 4
+		{Op: OpLI, Rd: RA0, Imm: 200}, // 5
+		{Op: OpHalt},                  // 6 (alt1 target: returns 0 in RA0... reuse)
+		{Op: OpRetOff, Imm: 2},        // 7: callee normal return -> 1+2=3
+	}
+	m := run(t, code, nil)
+	if m.Regs[RA0] != 100 {
+		t.Errorf("normal return landed wrong: %d", m.Regs[RA0])
+	}
+	// Alternate return <0/2>.
+	code[7] = Instr{Op: OpRetOff, Imm: 0}
+	m = run(t, code, nil)
+	if m.Regs[RA0] != 200 {
+		t.Errorf("alternate return landed wrong: %d", m.Regs[RA0])
+	}
+}
+
+func TestIndirectCallAndForeign(t *testing.T) {
+	called := false
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: int64(ForeignAddr(0))},
+		{Op: OpCallR, Rs: RT0},
+		{Op: OpHalt},
+	}
+	m := New(1 << 16)
+	m.Code = code
+	m.ForeignFuncs = append(m.ForeignFuncs, func(m *Machine) error {
+		called = true
+		m.Regs[RA0] = 7
+		return nil
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !called || m.Regs[RA0] != 7 {
+		t.Errorf("foreign call: called=%v a0=%d", called, m.Regs[RA0])
+	}
+}
+
+func TestForeignTailCall(t *testing.T) {
+	code := []Instr{
+		{Op: OpCall, Target: 3}, // call wrapper
+		{Op: OpHalt},            // 1: return here
+		{Op: OpNop},             // 2
+		{Op: OpLI, Rd: RT0, Imm: int64(ForeignAddr(0))}, // 3: wrapper
+		{Op: OpJmpR, Rs: RT0},                           // tail call foreign
+	}
+	m := New(1 << 16)
+	m.Code = code
+	m.ForeignFuncs = append(m.ForeignFuncs, func(m *Machine) error {
+		m.Regs[RA0] = 9
+		return nil
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[RA0] != 9 {
+		t.Errorf("a0 = %d", m.Regs[RA0])
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 10},
+		{Op: OpALU, Sub: ADivU, Rd: RA0, Rs: RT0, Rt: RZero, Width: 32},
+		{Op: OpHalt},
+	}
+	m := New(1 << 16)
+	m.Code = code
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryBoundsTrap(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 1 << 20},
+		{Op: OpLoad, Rd: RA0, Rs: RT0, Size: 4},
+		{Op: OpHalt},
+	}
+	m := New(1 << 16)
+	m.Code = code
+	if err := m.Run(); err == nil {
+		t.Fatal("expected out-of-bounds trap")
+	}
+}
+
+func TestBadIndirectTargets(t *testing.T) {
+	for _, in := range []Instr{
+		{Op: OpJmpR, Rs: RT0}, // rt0 = 0, not a code address
+		{Op: OpCallR, Rs: RT0},
+		{Op: OpRetOff}, // ra = 0
+	} {
+		m := New(1 << 16)
+		m.Code = []Instr{in, {Op: OpHalt}}
+		if err := m.Run(); err == nil {
+			t.Errorf("%s: expected trap", Disasm(in))
+		}
+	}
+}
+
+func TestYieldWithoutHandlerTraps(t *testing.T) {
+	m := New(1 << 16)
+	m.Code = []Instr{{Op: OpYield}, {Op: OpHalt}}
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "no run-time system") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestYieldHandlerResumes(t *testing.T) {
+	m := New(1 << 16)
+	m.Code = []Instr{
+		{Op: OpYield},               // 0
+		{Op: OpLI, Rd: RA0, Imm: 5}, // 1
+		{Op: OpHalt},
+	}
+	m.YieldHandler = func(m *Machine) error {
+		if m.PC != 1 {
+			t.Errorf("handler sees pc=%d, want 1", m.PC)
+		}
+		return nil // resume at pc
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[RA0] != 5 {
+		t.Errorf("a0 = %d", m.Regs[RA0])
+	}
+	if m.Stats.Yields != 1 {
+		t.Errorf("yields = %d", m.Stats.Yields)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	m := New(1 << 16)
+	m.Code = []Instr{{Op: OpJmp, Target: 0}}
+	m.MaxInstrs = 1000
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrapInstruction(t *testing.T) {
+	m := New(1 << 16)
+	m.Code = []Instr{{Op: OpTrap, Sym: "deliberate"}}
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFPUOps(t *testing.T) {
+	a := math.Float64bits(1.5)
+	b := math.Float64bits(2.5)
+	cases := []struct {
+		sub  ALUOp
+		want float64
+	}{
+		{FAdd, 4.0}, {FSub, -1.0}, {FMul, 3.75}, {FDiv, 0.6},
+	}
+	for _, c := range cases {
+		m := New(1 << 16)
+		m.Code = []Instr{
+			{Op: OpLI, Rd: RT0, Imm: int64(a)},
+			{Op: OpLI, Rd: RT0 + 1, Imm: int64(b)},
+			{Op: OpFPU, Sub: c.sub, Rd: RA0, Rs: RT0, Rt: RT0 + 1},
+			{Op: OpHalt},
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := math.Float64frombits(m.Regs[RA0])
+		if got != c.want {
+			t.Errorf("fpu %d: got %g, want %g", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestFPUCompares(t *testing.T) {
+	a := math.Float64bits(1.5)
+	b := math.Float64bits(2.5)
+	m := New(1 << 16)
+	m.Code = []Instr{
+		{Op: OpLI, Rd: RT0, Imm: int64(a)},
+		{Op: OpLI, Rd: RT0 + 1, Imm: int64(b)},
+		{Op: OpFPU, Sub: FLt, Rd: RA0, Rs: RT0, Rt: RT0 + 1},
+		{Op: OpFPU, Sub: FGe, Rd: RA0 + 1, Rs: RT0, Rt: RT0 + 1},
+		{Op: OpHalt},
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[RA0] != 1 || m.Regs[RA0+1] != 0 {
+		t.Errorf("compares: %d %d", m.Regs[RA0], m.Regs[RA0+1])
+	}
+}
+
+func TestF2IAndI2F(t *testing.T) {
+	m := New(1 << 16)
+	m.Code = []Instr{
+		{Op: OpLI, Rd: RT0, Imm: int64(math.Float64bits(41.9))},
+		{Op: OpALU, Sub: AF2I, Rd: RA0, Rs: RT0, Width: 32},
+		{Op: OpLI, Rd: RT0 + 1, Imm: 7},
+		{Op: OpALU, Sub: AI2F, Rd: RA0 + 1, Rs: RT0 + 1, Width: 32},
+		{Op: OpHalt},
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[RA0] != 41 {
+		t.Errorf("f2i: %d", m.Regs[RA0])
+	}
+	if math.Float64frombits(m.Regs[RA0+1]) != 7.0 {
+		t.Errorf("i2f: %g", math.Float64frombits(m.Regs[RA0+1]))
+	}
+}
+
+func TestF2INaNTraps(t *testing.T) {
+	m := New(1 << 16)
+	m.Code = []Instr{
+		{Op: OpLI, Rd: RT0, Imm: int64(math.Float64bits(math.NaN()))},
+		{Op: OpALU, Sub: AF2I, Rd: RA0, Rs: RT0, Width: 32},
+		{Op: OpHalt},
+	}
+	if err := m.Run(); err == nil {
+		t.Fatal("expected trap on NaN conversion")
+	}
+}
+
+func TestCodeAddrRoundTrip(t *testing.T) {
+	f := func(idx uint16) bool {
+		a := CodeAddr(int(idx))
+		back, ok := CodeIndex(a)
+		return ok && back == int(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, ok := CodeIndex(0x100); ok {
+		t.Error("data address decoded as code")
+	}
+	if _, ok := CodeIndex(ForeignAddr(3)); ok {
+		t.Error("foreign address decoded as plain code")
+	}
+	fi, ok := ForeignIndex(ForeignAddr(3))
+	if !ok || fi != 3 {
+		t.Errorf("foreign round trip: %d %v", fi, ok)
+	}
+}
+
+func TestSignExtendAndTruncate(t *testing.T) {
+	f := func(v uint32) bool {
+		// Truncating to 32 then sign-extending is the int32 value.
+		return signExtend(uint64(v), 32) == int64(int32(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if truncate(0x1FF, 8) != 0xFF {
+		t.Error("truncate(0x1FF, 8)")
+	}
+	if truncate(5, 64) != 5 {
+		t.Error("truncate width 64")
+	}
+}
+
+func TestALUQuickProperties(t *testing.T) {
+	// x + y == y + x and (x + y) - y == x at width 32.
+	add := func(x, y uint32) bool {
+		a, _ := aluOp(AAdd, uint64(x), uint64(y), 32)
+		b, _ := aluOp(AAdd, uint64(y), uint64(x), 32)
+		s, _ := aluOp(ASub, a, uint64(y), 32)
+		return a == b && s == uint64(x)
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Error(err)
+	}
+	// Signed division truncates toward zero: (x/y)*y + x%y == x.
+	div := func(x, y int32) bool {
+		if y == 0 {
+			return true
+		}
+		q, err := aluOp(ADivS, uint64(uint32(x)), uint64(uint32(y)), 32)
+		if err != nil {
+			return x == math.MinInt32 && y == -1 || true
+		}
+		r, _ := aluOp(ARemS, uint64(uint32(x)), uint64(uint32(y)), 32)
+		m, _ := aluOp(AMul, q, uint64(uint32(y)), 32)
+		s, _ := aluOp(AAdd, m, r, 32)
+		return s == uint64(uint32(x))
+	}
+	if err := quick.Check(div, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasmCoversAllOps(t *testing.T) {
+	for op := OpNop; op <= OpTrap; op++ {
+		s := Disasm(Instr{Op: op, Sym: "x"})
+		if strings.HasPrefix(s, "op") && op != OpNop {
+			t.Errorf("opcode %d has no disassembly: %q", op, s)
+		}
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	for _, c := range []struct {
+		r    Reg
+		want string
+	}{{RZero, "zero"}, {RSP, "sp"}, {RRA, "ra"}, {RA0, "a0"}, {RT0, "t0"}, {RS0, "s0"}, {RX0, "x0"}} {
+		if c.r.String() != c.want {
+			t.Errorf("%d: %s want %s", c.r, c.r, c.want)
+		}
+	}
+}
+
+func TestCostModelAccumulates(t *testing.T) {
+	m := run(t, []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 0x1000},
+		{Op: OpStore, Rs: RT0, Rt: RZero, Size: 8},
+		{Op: OpLoad, Rd: RA0, Rs: RT0, Size: 8},
+		{Op: OpHalt},
+	}, nil)
+	want := m.Cost.ALU + m.Cost.Store + m.Cost.Load
+	if m.Stats.Cycles != want {
+		t.Errorf("cycles = %d, want %d", m.Stats.Cycles, want)
+	}
+}

@@ -1,0 +1,898 @@
+package minim3
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DivZeroTag is the tag of the built-in DivZero exception, raised by
+// failing division. It matches dispatch.DivZeroTag (checked by a test;
+// minim3 avoids importing the dispatcher).
+const DivZeroTag = 0xD1F0
+
+// firstUserTag numbers user-declared exceptions.
+const firstUserTag = 1001
+
+// CheckedProgram is a checked MiniM3 program ready to compile.
+type CheckedProgram struct {
+	Prog *Program
+	Tags map[string]uint64 // exception name -> tag (includes DivZero)
+}
+
+// Check resolves names, assigns exception tags, and collects locals.
+func Check(prog *Program) (*CheckedProgram, error) {
+	cp := &CheckedProgram{Prog: prog, Tags: map[string]uint64{"DivZero": DivZeroTag}}
+	globals := map[string]bool{}
+	for _, v := range prog.Vars {
+		if globals[v.Name] {
+			return nil, fmt.Errorf("global %s redeclared", v.Name)
+		}
+		globals[v.Name] = true
+	}
+	for i, e := range prog.Exceptions {
+		if _, dup := cp.Tags[e.Name]; dup {
+			return nil, fmt.Errorf("exception %s redeclared", e.Name)
+		}
+		e.Tag = uint64(firstUserTag + i)
+		cp.Tags[e.Name] = e.Tag
+	}
+	procs := map[string]*ProcDecl{}
+	for _, p := range prog.Procs {
+		if procs[p.Name] != nil {
+			return nil, fmt.Errorf("procedure %s redeclared", p.Name)
+		}
+		if globals[p.Name] {
+			return nil, fmt.Errorf("%s is both a global and a procedure", p.Name)
+		}
+		procs[p.Name] = p
+	}
+	for _, p := range prog.Procs {
+		if err := cp.checkProc(p, globals, procs); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs map[string]*ProcDecl) error {
+	locals := map[string]bool{}
+	for _, prm := range p.Params {
+		locals[prm] = true
+	}
+	declare := func(name string) {
+		if !locals[name] && !globals[name] {
+			locals[name] = true
+			p.Locals = append(p.Locals, name)
+		}
+	}
+	var checkExpr func(e Expr) error
+	var checkStmts func(ss []Stmt) error
+	checkExpr = func(e Expr) error {
+		switch e := e.(type) {
+		case *IntExpr:
+		case *NameExpr:
+			if !locals[e.Name] && !globals[e.Name] {
+				return fmt.Errorf("proc %s: undefined name %s", p.Name, e.Name)
+			}
+		case *CallExpr:
+			callee, ok := procs[e.Proc]
+			if !ok {
+				return fmt.Errorf("proc %s: call to undefined procedure %s", p.Name, e.Proc)
+			}
+			if len(e.Args) != len(callee.Params) {
+				return fmt.Errorf("proc %s: %s expects %d arguments, got %d",
+					p.Name, e.Proc, len(callee.Params), len(e.Args))
+			}
+			for _, a := range e.Args {
+				if err := checkExpr(a); err != nil {
+					return err
+				}
+			}
+		case *BinOpExpr:
+			if err := checkExpr(e.X); err != nil {
+				return err
+			}
+			return checkExpr(e.Y)
+		case *NegExpr:
+			return checkExpr(e.X)
+		}
+		return nil
+	}
+	checkStmts = func(ss []Stmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *AssignStmt:
+				declare(s.Name)
+				if err := checkExpr(s.X); err != nil {
+					return err
+				}
+			case *CallStmt:
+				if err := checkExpr(&CallExpr{Proc: s.Proc, Args: s.Args}); err != nil {
+					return err
+				}
+			case *IfStmt:
+				if err := checkExpr(s.Cond); err != nil {
+					return err
+				}
+				if err := checkStmts(s.Then); err != nil {
+					return err
+				}
+				if err := checkStmts(s.Else); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				if err := checkExpr(s.Cond); err != nil {
+					return err
+				}
+				if err := checkStmts(s.Body); err != nil {
+					return err
+				}
+			case *ReturnStmt:
+				if s.X != nil {
+					if err := checkExpr(s.X); err != nil {
+						return err
+					}
+				}
+			case *RaiseStmt:
+				if _, ok := cp.Tags[s.Exn]; !ok {
+					return fmt.Errorf("proc %s: raise of undeclared exception %s", p.Name, s.Exn)
+				}
+				if s.Arg != nil {
+					if err := checkExpr(s.Arg); err != nil {
+						return err
+					}
+				}
+			case *TryStmt:
+				if s.Finally != nil {
+					// Finalization: returns inside the protected region
+					// would bypass or duplicate the cleanup; reject them
+					// (a documented MiniM3 restriction).
+					if containsReturn(s.Body) || containsReturn(s.Finally) {
+						return fmt.Errorf("proc %s: return inside try/finally is not supported", p.Name)
+					}
+					if err := checkStmts(s.Body); err != nil {
+						return err
+					}
+					if err := checkStmts(s.Finally); err != nil {
+						return err
+					}
+					continue
+				}
+				seen := map[string]bool{}
+				for _, cl := range s.Clauses {
+					if _, ok := cp.Tags[cl.Exn]; !ok {
+						return fmt.Errorf("proc %s: except clause for undeclared exception %s", p.Name, cl.Exn)
+					}
+					if seen[cl.Exn] {
+						return fmt.Errorf("proc %s: duplicate except clause for %s", p.Name, cl.Exn)
+					}
+					seen[cl.Exn] = true
+					if cl.Param != "" {
+						declare(cl.Param)
+					}
+					if err := checkStmts(cl.Body); err != nil {
+						return err
+					}
+				}
+				if err := checkStmts(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return checkStmts(p.Body)
+}
+
+// containsReturn reports whether any statement in ss (recursively) is a
+// return.
+func containsReturn(ss []Stmt) bool {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *ReturnStmt:
+			return true
+		case *IfStmt:
+			if containsReturn(s.Then) || containsReturn(s.Else) {
+				return true
+			}
+		case *WhileStmt:
+			if containsReturn(s.Body) {
+				return true
+			}
+		case *TryStmt:
+			if containsReturn(s.Body) || containsReturn(s.Finally) {
+				return true
+			}
+			for _, cl := range s.Clauses {
+				if containsReturn(cl.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CompileOptions tunes the front end.
+type CompileOptions struct {
+	// Prune applies Hennessy-style annotation inference (infer.go):
+	// calls to provably non-raising procedures carry no exceptional
+	// annotations, and such procedures use plain returns.
+	Prune bool
+}
+
+// Compile translates MiniM3 source to C-- source under the given policy.
+// For each procedure P the output also contains an exported wrapper
+// run_P returning two results (status, value): status 0 on normal
+// return, or the escaped exception's tag (with value its argument).
+func Compile(src string, policy Policy) (string, error) {
+	return CompileWith(src, policy, CompileOptions{})
+}
+
+// CompileWith is Compile with options.
+func CompileWith(src string, policy Policy, opts CompileOptions) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	cp, err := Check(prog)
+	if err != nil {
+		return "", err
+	}
+	e := &emitter{cp: cp, policy: policy, opts: opts}
+	if opts.Prune {
+		e.mayRaise = MayRaise(prog)
+	} else {
+		e.mayRaise = map[string]bool{}
+		for _, pr := range prog.Procs {
+			e.mayRaise[pr.Name] = true // without inference, assume anything raises
+		}
+	}
+	return e.program()
+}
+
+// tryCtx is one enclosing TRY during compilation.
+type tryCtx struct {
+	try      *TryStmt
+	contName string // A: handler continuation; C: abnormal-return continuation
+	dispatch string // C: dispatch label inside the continuation
+	after    string // label following the TRY statement
+	// B: one continuation per clause.
+	clauseConts []string
+	descLabel   string
+}
+
+type emitter struct {
+	cp       *CheckedProgram
+	policy   Policy
+	opts     CompileOptions
+	mayRaise map[string]bool
+
+	sb        strings.Builder
+	data      strings.Builder // descriptor data sections (policy B)
+	nameN     int
+	proc      *ProcDecl
+	tryEnv    []*tryCtx
+	temps     []string
+	tempN     int
+	hasDisp   bool // C: whether .mmtag/.mmarg are declared
+	needKexn0 bool // C: a call outside any TRY needs the propagating continuation
+}
+
+func (e *emitter) fresh(prefix string) string {
+	e.nameN++
+	return fmt.Sprintf("%s%d", prefix, e.nameN)
+}
+
+func (e *emitter) temp() string {
+	e.tempN++
+	t := fmt.Sprintf(".e%d", e.tempN)
+	e.temps = append(e.temps, t)
+	return t
+}
+
+func (e *emitter) line(format string, args ...any) {
+	fmt.Fprintf(&e.sb, format+"\n", args...)
+}
+
+func (e *emitter) global(name string) string { return "mm_" + name }
+
+func (e *emitter) program() (string, error) {
+	var out strings.Builder
+	// Globals.
+	for _, v := range e.cp.Prog.Vars {
+		fmt.Fprintf(&out, "bits32 %s = %d;\n", e.global(v.Name), uint32(v.Init))
+	}
+	if e.policy == PolicyCutting {
+		fmt.Fprintf(&out, "bits32 mm_exn_top;\n")
+		fmt.Fprintf(&out, "section \"data\" { mm_exn_stack: bits32[%d]; }\n", 256)
+	}
+	var exports []string
+	for _, p := range e.cp.Prog.Procs {
+		body, err := e.compileProc(p)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(body)
+		wrapper, err := e.wrapper(p)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(wrapper)
+		exports = append(exports, "run_"+p.Name)
+	}
+	out.WriteString(e.data.String())
+	sort.Strings(exports)
+	fmt.Fprintf(&out, "export %s;\n", strings.Join(exports, ", "))
+	return out.String(), nil
+}
+
+// name resolves a MiniM3 variable to its C-- spelling.
+func (e *emitter) name(n string) string {
+	for _, v := range e.cp.Prog.Vars {
+		if v.Name == n {
+			return e.global(n)
+		}
+	}
+	return n
+}
+
+func (e *emitter) compileProc(p *ProcDecl) (string, error) {
+	e.proc = p
+	e.tryEnv = nil
+	e.temps = nil
+	e.tempN = 0
+	e.sb.Reset()
+	e.hasDisp = false
+	e.needKexn0 = false
+
+	params := make([]string, len(p.Params))
+	for i, prm := range p.Params {
+		params[i] = "bits32 " + prm
+	}
+	var body strings.Builder
+	e.sb.Reset()
+	if err := e.stmts(p.Body); err != nil {
+		return "", err
+	}
+	// Implicit return 0.
+	e.ret("0")
+	if e.needKexn0 {
+		// The propagating abnormal-return continuation for call sites
+		// outside any TRY (policy C).
+		e.hasDisp = true
+		e.line("continuation .kexn0(.mmtag, .mmarg):")
+		e.line("    return <0/1> (.mmtag, .mmarg);")
+	}
+	// Pending continuations were emitted inline by stmts/try handling.
+	code := e.sb.String()
+
+	fmt.Fprintf(&body, "%s(%s) {\n", p.Name, strings.Join(params, ", "))
+	var locals []string
+	locals = append(locals, p.Locals...)
+	locals = append(locals, e.temps...)
+	if e.hasDisp {
+		locals = append(locals, ".mmtag", ".mmarg")
+	}
+	if len(locals) > 0 {
+		fmt.Fprintf(&body, "    bits32 %s;\n", strings.Join(locals, ", "))
+	}
+	body.WriteString(code)
+	body.WriteString("}\n")
+	return body.String(), nil
+}
+
+// ret emits a normal return of value v under the current policy,
+// unwinding any exception-stack entries pushed by enclosing TRYs.
+func (e *emitter) ret(v string) {
+	if e.policy == PolicyCutting && len(e.tryEnv) > 0 {
+		e.line("    mm_exn_top = mm_exn_top - %d;", 4*len(e.tryEnv))
+	}
+	if e.policy == PolicyNativeUnwind && (e.proc == nil || e.mayRaise[e.proc.Name]) {
+		e.line("    return <1/1> (%s);", v)
+	} else {
+		e.line("    return (%s);", v)
+	}
+}
+
+// raiseAnnots renders the annotations of a raising site (a yield or a
+// solid primitive), which always needs the full exceptional edges.
+func (e *emitter) raiseAnnots() string {
+	saved := e.mayRaise
+	name := ".raise-site"
+	e.mayRaise = map[string]bool{name: true}
+	for k, v := range saved {
+		e.mayRaise[k] = v
+	}
+	out := e.annots(name)
+	e.mayRaise = saved
+	return out
+}
+
+// annots renders the call-site annotations the current try context
+// requires for a call to callee. A call to a provably non-raising
+// procedure needs none (Hennessy-style inference; "" is the empty
+// annotation list).
+func (e *emitter) annots(callee string) string {
+	if !e.mayRaise[callee] {
+		return ""
+	}
+	switch e.policy {
+	case PolicyCutting:
+		a := " also aborts"
+		if len(e.tryEnv) > 0 {
+			a += " also cuts to " + e.tryEnv[len(e.tryEnv)-1].contName
+		}
+		return a
+	case PolicyUnwinding:
+		a := " also aborts"
+		conts, desc := e.unwindTargets()
+		if len(conts) > 0 {
+			a += " also unwinds to " + strings.Join(conts, ", ")
+			a += fmt.Sprintf(" descriptors(%s)", desc)
+		}
+		return a
+	case PolicyNativeUnwind:
+		if len(e.tryEnv) > 0 {
+			return " also returns to " + e.tryEnv[len(e.tryEnv)-1].contName
+		}
+		e.needKexn0 = true
+		return " also returns to .kexn0"
+	}
+	return ""
+}
+
+// unwindTargets flattens the enclosing clause continuations (innermost
+// first) and ensures a descriptor data block exists for this context.
+func (e *emitter) unwindTargets() ([]string, string) {
+	if len(e.tryEnv) == 0 {
+		return nil, ""
+	}
+	top := e.tryEnv[len(e.tryEnv)-1]
+	if top.descLabel != "" {
+		// Already materialized for this context.
+		var conts []string
+		for i := len(e.tryEnv) - 1; i >= 0; i-- {
+			conts = append(conts, e.tryEnv[i].clauseConts...)
+		}
+		return conts, top.descLabel
+	}
+	var conts []string
+	var rows []string
+	idx := 0
+	for i := len(e.tryEnv) - 1; i >= 0; i-- {
+		ctx := e.tryEnv[i]
+		if ctx.try.Finally != nil {
+			// A finalizer is a wildcard handler taking (tag, arg) so it
+			// can re-raise after cleanup.
+			conts = append(conts, ctx.clauseConts[0])
+			rows = append(rows, fmt.Sprintf("%d, %d, %d", uint64(0xFFFFFFFF), idx, 2))
+			idx++
+			continue
+		}
+		for j, cl := range ctx.try.Clauses {
+			conts = append(conts, ctx.clauseConts[j])
+			takes := 0
+			if cl.Param != "" {
+				takes = 1
+			}
+			rows = append(rows, fmt.Sprintf("%d, %d, %d", e.cp.Tags[cl.Exn], idx, takes))
+			idx++
+		}
+	}
+	top.descLabel = e.fresh(".desc")
+	fmt.Fprintf(&e.data, "section \"data\" { %s: bits32 %d, %s; }\n",
+		top.descLabel, idx, strings.Join(rows, ",  "))
+	return conts, top.descLabel
+}
+
+func (e *emitter) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := e.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *emitter) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *AssignStmt:
+		v, err := e.expr(s.X)
+		if err != nil {
+			return err
+		}
+		e.line("    %s = %s;", e.name(s.Name), v)
+	case *CallStmt:
+		args, err := e.exprList(s.Args)
+		if err != nil {
+			return err
+		}
+		t := e.temp()
+		e.line("    %s = %s(%s)%s;", t, s.Proc, strings.Join(args, ", "), e.annots(s.Proc))
+	case *IfStmt:
+		cond, err := e.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		e.line("    if %s {", cond)
+		if err := e.stmts(s.Then); err != nil {
+			return err
+		}
+		if len(s.Else) > 0 {
+			e.line("    } else {")
+			if err := e.stmts(s.Else); err != nil {
+				return err
+			}
+		}
+		e.line("    }")
+	case *WhileStmt:
+		loop := e.fresh(".loop")
+		e.line("%s:", loop)
+		cond, err := e.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		e.line("    if %s {", cond)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.line("    goto %s;", loop)
+		e.line("    }")
+	case *ReturnStmt:
+		v := "0"
+		if s.X != nil {
+			var err error
+			v, err = e.expr(s.X)
+			if err != nil {
+				return err
+			}
+		}
+		e.ret(v)
+	case *RaiseStmt:
+		arg := "0"
+		if s.Arg != nil {
+			var err error
+			arg, err = e.expr(s.Arg)
+			if err != nil {
+				return err
+			}
+		}
+		e.raise(fmt.Sprintf("%d", e.cp.Tags[s.Exn]), arg)
+	case *TryStmt:
+		return e.try(s)
+	default:
+		return fmt.Errorf("cannot compile %T", s)
+	}
+	return nil
+}
+
+// raise emits a raise of tag (a C-- expression) with argument arg.
+func (e *emitter) raise(tag, arg string) {
+	switch e.policy {
+	case PolicyCutting:
+		// Figure 10's RAISE: fetch the current handler, pop, cut.
+		t := e.temp()
+		e.line("    %s = bits32[mm_exn_top];", t)
+		e.line("    mm_exn_top = mm_exn_top - 4;")
+		cut := fmt.Sprintf("    cut to %s(%s, %s)", t, tag, arg)
+		if len(e.tryEnv) > 0 {
+			cut += " also cuts to " + e.tryEnv[len(e.tryEnv)-1].contName
+		} else {
+			cut += " also aborts"
+		}
+		e.line("%s;", cut)
+	case PolicyUnwinding:
+		// RAISE yields to the front-end run-time system (Figure 8).
+		e.line("    yield(1, %s, %s)%s;", tag, arg, e.raiseAnnots())
+	case PolicyNativeUnwind:
+		e.hasDisp = true
+		if len(e.tryEnv) > 0 {
+			// Dispatch locally: the innermost context may handle it.
+			e.line("    .mmtag = %s;", tag)
+			e.line("    .mmarg = %s;", arg)
+			e.line("    goto %s;", e.tryEnv[len(e.tryEnv)-1].dispatch)
+		} else {
+			// Propagate: abnormal return to the caller.
+			e.line("    return <0/1> (%s, %s);", tag, arg)
+		}
+	}
+}
+
+func (e *emitter) try(s *TryStmt) error {
+	if s.Finally != nil {
+		return e.tryFinally(s)
+	}
+	after := e.fresh(".after")
+	switch e.policy {
+	case PolicyCutting:
+		ctx := &tryCtx{try: s, contName: e.fresh(".kh"), after: after}
+		e.hasDisp = true
+		// Push the handler (Figure 10).
+		e.line("    mm_exn_top = mm_exn_top + 4;")
+		e.line("    bits32[mm_exn_top] = %s;", ctx.contName)
+		e.tryEnv = append(e.tryEnv, ctx)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.tryEnv = e.tryEnv[:len(e.tryEnv)-1]
+		// Leave TRY-EXCEPT-END.
+		e.line("    mm_exn_top = mm_exn_top - 4;")
+		e.line("    goto %s;", after)
+		// Handler continuation: dispatch on the tag; re-raise on no
+		// match (the raise already popped this handler).
+		e.line("continuation %s(.mmtag, .mmarg):", ctx.contName)
+		for _, cl := range s.Clauses {
+			e.line("    if .mmtag == %d {", e.cp.Tags[cl.Exn])
+			if cl.Param != "" {
+				e.line("    %s = .mmarg;", cl.Param)
+			}
+			if err := e.stmts(cl.Body); err != nil {
+				return err
+			}
+			e.line("    goto %s;", after)
+			e.line("    }")
+		}
+		e.raise(".mmtag", ".mmarg")
+		e.line("%s:", after)
+	case PolicyUnwinding:
+		ctx := &tryCtx{try: s, after: after}
+		for range s.Clauses {
+			ctx.clauseConts = append(ctx.clauseConts, e.fresh(".kh"))
+		}
+		e.tryEnv = append(e.tryEnv, ctx)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.tryEnv = e.tryEnv[:len(e.tryEnv)-1]
+		e.line("    goto %s;", after)
+		for j, cl := range s.Clauses {
+			if cl.Param != "" {
+				e.line("continuation %s(%s):", ctx.clauseConts[j], cl.Param)
+			} else {
+				e.line("continuation %s:", ctx.clauseConts[j])
+			}
+			if err := e.stmts(cl.Body); err != nil {
+				return err
+			}
+			e.line("    goto %s;", after)
+		}
+		e.line("%s:", after)
+	case PolicyNativeUnwind:
+		e.hasDisp = true
+		ctx := &tryCtx{try: s, contName: e.fresh(".kexn"), dispatch: e.fresh(".disp"), after: after}
+		e.tryEnv = append(e.tryEnv, ctx)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.tryEnv = e.tryEnv[:len(e.tryEnv)-1]
+		e.line("    goto %s;", after)
+		// The abnormal-return continuation for call sites in this TRY,
+		// falling through to the dispatch label local raises use.
+		e.line("continuation %s(.mmtag, .mmarg):", ctx.contName)
+		e.line("%s:", ctx.dispatch)
+		for _, cl := range s.Clauses {
+			e.line("    if .mmtag == %d {", e.cp.Tags[cl.Exn])
+			if cl.Param != "" {
+				e.line("    %s = .mmarg;", cl.Param)
+			}
+			if err := e.stmts(cl.Body); err != nil {
+				return err
+			}
+			e.line("    goto %s;", after)
+			e.line("    }")
+		}
+		// No clause matched: hand to the enclosing context or propagate.
+		if len(e.tryEnv) > 0 {
+			e.line("    goto %s;", e.tryEnv[len(e.tryEnv)-1].dispatch)
+		} else {
+			e.line("    return <0/1> (.mmtag, .mmarg);")
+		}
+		e.line("%s:", after)
+	}
+	return nil
+}
+
+// tryFinally compiles TRY body FINALLY cleanup END: the cleanup runs on
+// the normal path, and a catch-all handler runs it and re-raises on the
+// exceptional path ("a real dispatcher for Modula-3 would ... have to
+// provide for finalization", Appendix A.1). The cleanup is emitted
+// twice, the standard compilation.
+func (e *emitter) tryFinally(s *TryStmt) error {
+	after := e.fresh(".after")
+	e.hasDisp = true
+	switch e.policy {
+	case PolicyCutting:
+		ctx := &tryCtx{try: s, contName: e.fresh(".kf"), after: after}
+		e.line("    mm_exn_top = mm_exn_top + 4;")
+		e.line("    bits32[mm_exn_top] = %s;", ctx.contName)
+		e.tryEnv = append(e.tryEnv, ctx)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.tryEnv = e.tryEnv[:len(e.tryEnv)-1]
+		e.line("    mm_exn_top = mm_exn_top - 4;")
+		if err := e.stmts(s.Finally); err != nil { // normal-path cleanup
+			return err
+		}
+		e.line("    goto %s;", after)
+		e.line("continuation %s(.mmtag, .mmarg):", ctx.contName)
+		if err := e.stmts(s.Finally); err != nil { // exceptional cleanup
+			return err
+		}
+		e.raise(".mmtag", ".mmarg") // re-raise to the next handler
+		e.line("%s:", after)
+	case PolicyUnwinding:
+		ctx := &tryCtx{try: s, after: after, clauseConts: []string{e.fresh(".kf")}}
+		e.tryEnv = append(e.tryEnv, ctx)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.tryEnv = e.tryEnv[:len(e.tryEnv)-1]
+		if err := e.stmts(s.Finally); err != nil {
+			return err
+		}
+		e.line("    goto %s;", after)
+		// The wildcard handler receives (tag, arg) so it can re-raise.
+		e.line("continuation %s(.mmtag, .mmarg):", ctx.clauseConts[0])
+		if err := e.stmts(s.Finally); err != nil {
+			return err
+		}
+		e.line("    yield(1, .mmtag, .mmarg)%s;", e.raiseAnnots())
+		e.line("%s:", after)
+	case PolicyNativeUnwind:
+		ctx := &tryCtx{try: s, contName: e.fresh(".kexn"), dispatch: e.fresh(".disp"), after: after}
+		e.tryEnv = append(e.tryEnv, ctx)
+		if err := e.stmts(s.Body); err != nil {
+			return err
+		}
+		e.tryEnv = e.tryEnv[:len(e.tryEnv)-1]
+		if err := e.stmts(s.Finally); err != nil {
+			return err
+		}
+		e.line("    goto %s;", after)
+		e.line("continuation %s(.mmtag, .mmarg):", ctx.contName)
+		e.line("%s:", ctx.dispatch)
+		if err := e.stmts(s.Finally); err != nil {
+			return err
+		}
+		if len(e.tryEnv) > 0 {
+			e.line("    goto %s;", e.tryEnv[len(e.tryEnv)-1].dispatch)
+		} else {
+			e.line("    return <0/1> (.mmtag, .mmarg);")
+		}
+		e.line("%s:", after)
+	}
+	return nil
+}
+
+func (e *emitter) exprList(xs []Expr) ([]string, error) {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		v, err := e.expr(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// expr compiles an expression, emitting prelude statements for calls and
+// checked divisions, and returns a pure C-- expression.
+func (e *emitter) expr(x Expr) (string, error) {
+	switch x := x.(type) {
+	case *IntExpr:
+		return fmt.Sprintf("%d", uint32(x.Val)), nil
+	case *NameExpr:
+		return e.name(x.Name), nil
+	case *NegExpr:
+		v, err := e.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(0 - %s)", v), nil
+	case *CallExpr:
+		args, err := e.exprList(x.Args)
+		if err != nil {
+			return "", err
+		}
+		t := e.temp()
+		e.line("    %s = %s(%s)%s;", t, x.Proc, strings.Join(args, ", "), e.annots(x.Proc))
+		return t, nil
+	case *BinOpExpr:
+		a, err := e.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		b, err := e.expr(x.Y)
+		if err != nil {
+			return "", err
+		}
+		switch x.Op {
+		case "/", "%":
+			prim := "divu"
+			if x.Op == "%" {
+				prim = "remu"
+			}
+			t := e.temp()
+			if e.policy == PolicyNativeUnwind {
+				// The explicit-test strategy of §4.3: slow but easy, and
+				// it needs no run-time system.
+				e.line("    if %s == 0 {", b)
+				e.raise(fmt.Sprintf("%d", DivZeroTag), "0")
+				e.line("    }")
+				e.line("    %s = %%%s(%s, %s);", t, prim, a, b)
+			} else {
+				// The slow-but-solid primitive: failure becomes a yield
+				// that the dispatcher rethrows as DivZero.
+				e.line("    %s = %%%%%s(%s, %s)%s;", t, prim, a, b, e.raiseAnnots())
+			}
+			return t, nil
+		}
+		return fmt.Sprintf("(%s %s %s)", a, x.Op, b), nil
+	}
+	return "", fmt.Errorf("cannot compile expression %T", x)
+}
+
+// wrapper emits run_P: call P, report (0, result) on normal return or
+// (tag, argument) when an exception escapes.
+func (e *emitter) wrapper(p *ProcDecl) (string, error) {
+	e.proc = nil
+	e.sb.Reset()
+	params := make([]string, len(p.Params))
+	args := make([]string, len(p.Params))
+	for i := range p.Params {
+		params[i] = "bits32 .a" + fmt.Sprint(i)
+		args[i] = ".a" + fmt.Sprint(i)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "run_%s(%s) {\n", p.Name, strings.Join(params, ", "))
+	fmt.Fprintf(&b, "    bits32 .v, .tag, .arg;\n")
+	call := fmt.Sprintf("%s(%s)", p.Name, strings.Join(args, ", "))
+	if !e.mayRaise[p.Name] {
+		// Inference proved the procedure cannot raise: no root handler.
+		fmt.Fprintf(&b, "    .v = %s;\n", call)
+		fmt.Fprintf(&b, "    return (0, .v);\n}\n")
+		return b.String(), nil
+	}
+	switch e.policy {
+	case PolicyCutting:
+		fmt.Fprintf(&b, "    mm_exn_top = mm_exn_stack;\n")
+		fmt.Fprintf(&b, "    bits32[mm_exn_top] = .kroot;\n")
+		fmt.Fprintf(&b, "    .v = %s also cuts to .kroot;\n", call)
+		fmt.Fprintf(&b, "    return (0, .v);\n")
+		fmt.Fprintf(&b, "continuation .kroot(.tag, .arg):\n")
+		fmt.Fprintf(&b, "    return (.tag, .arg);\n")
+	case PolicyUnwinding:
+		// One catch-all row per declared exception (plus DivZero), each
+		// to a continuation that knows its tag.
+		tags := []uint64{DivZeroTag}
+		for _, ex := range e.cp.Prog.Exceptions {
+			tags = append(tags, ex.Tag)
+		}
+		var conts, rows []string
+		for i, tag := range tags {
+			conts = append(conts, fmt.Sprintf(".kr%d", i))
+			rows = append(rows, fmt.Sprintf("%d, %d, 1", tag, i))
+		}
+		desc := fmt.Sprintf(".rootdesc_%s", p.Name)
+		fmt.Fprintf(&e.data, "section \"data\" { %s: bits32 %d, %s; }\n",
+			desc, len(tags), strings.Join(rows, ",  "))
+		fmt.Fprintf(&b, "    .v = %s also unwinds to %s also aborts descriptors(%s);\n",
+			call, strings.Join(conts, ", "), desc)
+		fmt.Fprintf(&b, "    return (0, .v);\n")
+		for i, tag := range tags {
+			fmt.Fprintf(&b, "continuation .kr%d(.arg):\n", i)
+			fmt.Fprintf(&b, "    return (%d, .arg);\n", tag)
+		}
+	case PolicyNativeUnwind:
+		fmt.Fprintf(&b, "    .v = %s also returns to .kroot;\n", call)
+		fmt.Fprintf(&b, "    return (0, .v);\n")
+		fmt.Fprintf(&b, "continuation .kroot(.tag, .arg):\n")
+		fmt.Fprintf(&b, "    return (.tag, .arg);\n")
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String(), nil
+}

@@ -1,0 +1,162 @@
+package minim3
+
+// Annotation inference, after Hennessy (1981), which the paper cites as
+// the way a front end computes "the annotations it must place at each
+// C-- call site": a whole-program analysis of which procedures can raise
+// at all. Calls to provably non-raising procedures need no exceptional
+// annotations — no also-aborts, no unwind edges, no descriptors, no
+// abnormal-return continuation — which shrinks call sites and frees the
+// register allocator from exception-edge constraints.
+//
+// The analysis is a conservative fixpoint over the call graph: a
+// procedure may raise if it contains a RAISE, a division (which may
+// raise DivZero), or a call to a procedure that may raise. TRY does not
+// subtract (a handler might not match, or might re-raise), so the result
+// over-approximates, which is the safe direction.
+
+// MayRaise computes, for every procedure, whether executing it can raise
+// an exception (including the built-in DivZero).
+func MayRaise(prog *Program) map[string]bool {
+	may := map[string]bool{}
+	// Direct raises and divisions.
+	var exprRaises func(e Expr) bool
+	exprRaises = func(e Expr) bool {
+		switch e := e.(type) {
+		case *BinOpExpr:
+			if e.Op == "/" || e.Op == "%" {
+				return true
+			}
+			return exprRaises(e.X) || exprRaises(e.Y)
+		case *NegExpr:
+			return exprRaises(e.X)
+		case *CallExpr:
+			for _, a := range e.Args {
+				if exprRaises(a) {
+					return true
+				}
+			}
+			return false // the call edge is handled by the fixpoint
+		}
+		return false
+	}
+	var stmtsRaise func(ss []Stmt) bool
+	stmtsRaise = func(ss []Stmt) bool {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *RaiseStmt:
+				return true
+			case *AssignStmt:
+				if exprRaises(s.X) {
+					return true
+				}
+			case *CallStmt:
+				for _, a := range s.Args {
+					if exprRaises(a) {
+						return true
+					}
+				}
+			case *IfStmt:
+				if exprRaises(s.Cond) || stmtsRaise(s.Then) || stmtsRaise(s.Else) {
+					return true
+				}
+			case *WhileStmt:
+				if exprRaises(s.Cond) || stmtsRaise(s.Body) {
+					return true
+				}
+			case *ReturnStmt:
+				if s.X != nil && exprRaises(s.X) {
+					return true
+				}
+			case *TryStmt:
+				// Conservative: the body may raise something no clause
+				// handles, and clauses and finalizers may raise.
+				if stmtsRaise(s.Body) || stmtsRaise(s.Finally) {
+					return true
+				}
+				for _, cl := range s.Clauses {
+					if stmtsRaise(cl.Body) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, p := range prog.Procs {
+		if stmtsRaise(p.Body) {
+			may[p.Name] = true
+		}
+	}
+	// Propagate over call edges to a fixed point.
+	calls := map[string][]string{}
+	var collectCalls func(proc string, ss []Stmt)
+	var collectExpr func(proc string, e Expr)
+	collectExpr = func(proc string, e Expr) {
+		switch e := e.(type) {
+		case *CallExpr:
+			calls[proc] = append(calls[proc], e.Proc)
+			for _, a := range e.Args {
+				collectExpr(proc, a)
+			}
+		case *BinOpExpr:
+			collectExpr(proc, e.X)
+			collectExpr(proc, e.Y)
+		case *NegExpr:
+			collectExpr(proc, e.X)
+		}
+	}
+	collectCalls = func(proc string, ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *AssignStmt:
+				collectExpr(proc, s.X)
+			case *CallStmt:
+				calls[proc] = append(calls[proc], s.Proc)
+				for _, a := range s.Args {
+					collectExpr(proc, a)
+				}
+			case *IfStmt:
+				collectExpr(proc, s.Cond)
+				collectCalls(proc, s.Then)
+				collectCalls(proc, s.Else)
+			case *WhileStmt:
+				collectExpr(proc, s.Cond)
+				collectCalls(proc, s.Body)
+			case *ReturnStmt:
+				if s.X != nil {
+					collectExpr(proc, s.X)
+				}
+			case *RaiseStmt:
+				if s.Arg != nil {
+					collectExpr(proc, s.Arg)
+				}
+			case *TryStmt:
+				collectCalls(proc, s.Body)
+				collectCalls(proc, s.Finally)
+				for _, cl := range s.Clauses {
+					collectCalls(proc, cl.Body)
+				}
+			}
+		}
+	}
+	for _, p := range prog.Procs {
+		collectCalls(p.Name, p.Body)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range prog.Procs {
+			if may[p.Name] {
+				continue
+			}
+			for _, callee := range calls[p.Name] {
+				if may[callee] {
+					may[p.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return may
+}

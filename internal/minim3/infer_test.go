@@ -1,0 +1,146 @@
+package minim3
+
+import (
+	"strings"
+	"testing"
+)
+
+const inferSrc = `
+exception E;
+proc pure(x) { return x * 2 + 1; }
+proc pureLoop(n) {
+    var s;
+    s = 0;
+    while n > 0 {
+        s = s + pure(n);
+        n = n - 1;
+    }
+    return s;
+}
+proc divides(a, b) { return a / b; }        // may raise DivZero
+proc raises(x) { raise E(x); return 0; }
+proc callsRaiser(x) { return raises(x) + 1; }
+proc catches(x) {
+    var r;
+    try {
+        r = raises(x);
+    } except E(v) {
+        r = v;
+    }
+    return r;
+}
+`
+
+func TestMayRaise(t *testing.T) {
+	prog, err := Parse(inferSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	may := MayRaise(prog)
+	wantFalse := []string{"pure", "pureLoop"}
+	wantTrue := []string{"divides", "raises", "callsRaiser", "catches"}
+	for _, n := range wantFalse {
+		if may[n] {
+			t.Errorf("%s should be non-raising", n)
+		}
+	}
+	for _, n := range wantTrue {
+		if !may[n] {
+			t.Errorf("%s should be may-raise", n)
+		}
+	}
+}
+
+func TestPrunedCallSitesHaveNoAnnotations(t *testing.T) {
+	for _, pol := range Policies {
+		out, err := CompileWith(inferSrc, pol, CompileOptions{Prune: true})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		// The call to pure() inside pureLoop must carry no annotations.
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "= pure(") {
+				if strings.Contains(line, "also") {
+					t.Errorf("%s: pruned call still annotated: %s", pol, line)
+				}
+			}
+			if strings.Contains(line, "= raises(") && pol != PolicyCutting {
+				if !strings.Contains(line, "also") {
+					t.Errorf("%s: raising call lost its annotations: %s", pol, line)
+				}
+			}
+		}
+	}
+}
+
+func TestPruningPreservesBehavior(t *testing.T) {
+	for _, pol := range Policies {
+		for _, be := range []Backend{BackendSem, BackendVM} {
+			plain, err := NewRunner(inferSrc, pol, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := NewRunnerWith(inferSrc, pol, be, CompileOptions{Prune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range []struct {
+				proc string
+				args []uint64
+			}{
+				{"pureLoop", []uint64{6}},
+				{"divides", []uint64{10, 2}},
+				{"divides", []uint64{10, 0}}, // escapes with DivZero
+				{"callsRaiser", []uint64{3}}, // escapes with E
+				{"catches", []uint64{9}},
+			} {
+				s1, v1, err1 := plain.Call(tc.proc, tc.args...)
+				s2, v2, err2 := pruned.Call(tc.proc, tc.args...)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s/%d %s: %v / %v", pol, be, tc.proc, err1, err2)
+				}
+				if s1 != s2 || v1 != v2 {
+					t.Errorf("%s/%d %s(%v): plain (%d,%d) != pruned (%d,%d)",
+						pol, be, tc.proc, tc.args, s1, v1, s2, v2)
+				}
+			}
+		}
+	}
+}
+
+func TestPruningShrinksGeneratedCode(t *testing.T) {
+	for _, pol := range Policies {
+		plain, err := Compile(inferSrc, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := CompileWith(inferSrc, pol, CompileOptions{Prune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pruned) >= len(plain) {
+			t.Errorf("%s: pruning did not shrink output (%d vs %d)", pol, len(pruned), len(plain))
+		}
+	}
+}
+
+func TestPruningSpeedsUpNonRaisingLoop(t *testing.T) {
+	plain, err := NewRunner(inferSrc, PolicyNativeUnwind, BackendVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := NewRunnerWith(inferSrc, PolicyNativeUnwind, BackendVM, CompileOptions{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plain.Call("pureLoop", 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pruned.Call("pureLoop", 200); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Stats().Cycles >= plain.Stats().Cycles {
+		t.Errorf("pruning did not help: %d vs %d cycles",
+			pruned.Stats().Cycles, plain.Stats().Cycles)
+	}
+}

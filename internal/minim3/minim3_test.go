@@ -1,0 +1,482 @@
+package minim3
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cmm/internal/dispatch"
+)
+
+// The Figure 7 game program, in MiniM3.
+const gameSrc = `
+var next;
+var movesTried;
+
+exception BadMove;
+exception NoMoreTiles;
+
+proc getMove(which) {
+    if which == 1 { raise BadMove(7); }
+    if which == 2 { raise NoMoreTiles; }
+    return which * 10;
+}
+
+proc makeMove(m) {
+    if m > 100 { raise BadMove(m); }
+    return 0;
+}
+
+proc tryAMove(which) {
+    try {
+        makeMove(getMove(which));
+        next = (next + 1) % 4;
+    } except BadMove(why) {
+        next = 1000 + why;
+    } except NoMoreTiles {
+        next = 2000;
+    }
+    movesTried = movesTried + 1;
+    return next;
+}
+`
+
+func callAll(t *testing.T, src, proc string, args ...uint64) map[string][2]uint64 {
+	t.Helper()
+	out := map[string][2]uint64{}
+	for _, pol := range Policies {
+		for _, be := range []Backend{BackendSem, BackendVM} {
+			key := fmt.Sprintf("%s/%d", pol, be)
+			r, err := NewRunner(src, pol, be)
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			status, value, err := r.Call(proc, args...)
+			if err != nil {
+				t.Fatalf("%s: call: %v\n%s", key, err, r.CmmSrc)
+			}
+			out[key] = [2]uint64{status, value}
+		}
+	}
+	return out
+}
+
+// assertAgree requires every (policy, backend) pair to produce the same
+// observable result — the paper's claim that one IL supports all the
+// implementations without changing semantics.
+func assertAgree(t *testing.T, src, proc string, args ...uint64) [2]uint64 {
+	t.Helper()
+	res := callAll(t, src, proc, args...)
+	var first [2]uint64
+	var firstKey string
+	for k, v := range res {
+		first, firstKey = v, k
+		break
+	}
+	for k, v := range res {
+		if v != first {
+			t.Fatalf("%s(%v): %s got (%d,%d) but %s got (%d,%d)",
+				proc, args, k, v[0], v[1], firstKey, first[0], first[1])
+		}
+	}
+	return first
+}
+
+func TestGameNormalPath(t *testing.T) {
+	got := assertAgree(t, gameSrc, "tryAMove", 0)
+	if got != [2]uint64{0, 1} {
+		t.Errorf("tryAMove(0) = %v, want (0, 1)", got)
+	}
+}
+
+func TestGameBadMove(t *testing.T) {
+	got := assertAgree(t, gameSrc, "tryAMove", 1)
+	if got != [2]uint64{0, 1007} {
+		t.Errorf("tryAMove(1) = %v, want (0, 1007)", got)
+	}
+}
+
+func TestGameNoMoreTiles(t *testing.T) {
+	got := assertAgree(t, gameSrc, "tryAMove", 2)
+	if got != [2]uint64{0, 2000} {
+		t.Errorf("tryAMove(2) = %v, want (0, 2000)", got)
+	}
+}
+
+func TestGameHandlerRaises(t *testing.T) {
+	// makeMove raises BadMove(m) for big moves: getMove(20) = 200 > 100.
+	got := assertAgree(t, gameSrc, "tryAMove", 20)
+	if got != [2]uint64{0, 1200} {
+		t.Errorf("tryAMove(20) = %v, want (0, 1200)", got)
+	}
+}
+
+func TestEscapingException(t *testing.T) {
+	src := `
+exception Boom;
+proc f(x) {
+    if x == 1 { raise Boom(42); }
+    return x;
+}
+`
+	got := assertAgree(t, src, "f", 1)
+	if got[0] != 1001 || got[1] != 42 {
+		t.Errorf("escape = %v, want (1001, 42)", got)
+	}
+	got = assertAgree(t, src, "f", 5)
+	if got != [2]uint64{0, 5} {
+		t.Errorf("normal = %v", got)
+	}
+}
+
+func TestExceptionAcrossFrames(t *testing.T) {
+	src := `
+exception Deep;
+proc depth3(x) { raise Deep(x); return 0; }
+proc depth2(x) { return depth3(x) + 1; }
+proc depth1(x) { return depth2(x) + 1; }
+proc catcher(x) {
+    var r;
+    try {
+        r = depth1(x);
+    } except Deep(v) {
+        r = 100 + v;
+    }
+    return r;
+}
+`
+	got := assertAgree(t, src, "catcher", 9)
+	if got != [2]uint64{0, 109} {
+		t.Errorf("got %v, want (0, 109)", got)
+	}
+}
+
+func TestNestedTry(t *testing.T) {
+	src := `
+exception A;
+exception B;
+proc f(which) {
+    var r;
+    try {
+        try {
+            if which == 1 { raise A(1); }
+            if which == 2 { raise B(2); }
+            r = 5;
+        } except B(v) {
+            r = 20 + v;
+        }
+    } except A(v) {
+        r = 10 + v;
+    }
+    return r;
+}
+`
+	if got := assertAgree(t, src, "f", 0); got != [2]uint64{0, 5} {
+		t.Errorf("f(0) = %v", got)
+	}
+	if got := assertAgree(t, src, "f", 1); got != [2]uint64{0, 11} {
+		t.Errorf("f(1) = %v", got)
+	}
+	if got := assertAgree(t, src, "f", 2); got != [2]uint64{0, 22} {
+		t.Errorf("f(2) = %v", got)
+	}
+}
+
+func TestRethrowFromHandler(t *testing.T) {
+	src := `
+exception A;
+exception B;
+proc f() {
+    var r;
+    try {
+        try {
+            raise A(1);
+        } except A(v) {
+            raise B(v + 1);
+        }
+    } except B(v) {
+        r = 100 + v;
+    }
+    return r;
+}
+`
+	if got := assertAgree(t, src, "f"); got != [2]uint64{0, 102} {
+		t.Errorf("f() = %v, want (0, 102)", got)
+	}
+}
+
+func TestUnmatchedInnerPropagates(t *testing.T) {
+	src := `
+exception A;
+exception B;
+proc inner() {
+    try {
+        raise A(5);
+    } except B(v) {
+        return 1;
+    }
+    return 2;
+}
+proc outer() {
+    var r;
+    try {
+        r = inner();
+    } except A(v) {
+        r = 50 + v;
+    }
+    return r;
+}
+`
+	if got := assertAgree(t, src, "outer"); got != [2]uint64{0, 55} {
+		t.Errorf("outer() = %v, want (0, 55)", got)
+	}
+}
+
+func TestDivisionByZeroRaises(t *testing.T) {
+	src := `
+proc div(a, b) {
+    var r;
+    try {
+        r = a / b;
+    } except DivZero {
+        r = 4040;
+    }
+    return r;
+}
+proc divNoCatch(a, b) {
+    return a / b;
+}
+`
+	if got := assertAgree(t, src, "div", 10, 2); got != [2]uint64{0, 5} {
+		t.Errorf("div(10,2) = %v", got)
+	}
+	if got := assertAgree(t, src, "div", 10, 0); got != [2]uint64{0, 4040} {
+		t.Errorf("div(10,0) = %v", got)
+	}
+	// Uncaught: escapes with the DivZero tag.
+	got := assertAgree(t, src, "divNoCatch", 10, 0)
+	if got[0] != dispatch.DivZeroTag {
+		t.Errorf("divNoCatch(10,0) = %v, want tag %#x", got, uint64(dispatch.DivZeroTag))
+	}
+}
+
+func TestModuloByZeroRaises(t *testing.T) {
+	src := `
+proc m(a, b) {
+    var r;
+    try {
+        r = a % b;
+    } except DivZero {
+        r = 4041;
+    }
+    return r;
+}
+`
+	if got := assertAgree(t, src, "m", 10, 3); got != [2]uint64{0, 1} {
+		t.Errorf("m(10,3) = %v", got)
+	}
+	if got := assertAgree(t, src, "m", 10, 0); got != [2]uint64{0, 4041} {
+		t.Errorf("m(10,0) = %v", got)
+	}
+}
+
+func TestLoopsAndRecursion(t *testing.T) {
+	src := `
+proc fib(n) {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+proc sumTo(n) {
+    var s;
+    var i;
+    s = 0;
+    i = 1;
+    while i <= n {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+`
+	if got := assertAgree(t, src, "fib", 10); got != [2]uint64{0, 55} {
+		t.Errorf("fib(10) = %v", got)
+	}
+	if got := assertAgree(t, src, "sumTo", 100); got != [2]uint64{0, 5050} {
+		t.Errorf("sumTo(100) = %v", got)
+	}
+}
+
+func TestGlobalsVisibleAcrossCalls(t *testing.T) {
+	src := `
+var acc = 5;
+proc bump(n) { acc = acc + n; return acc; }
+proc f() {
+    bump(1);
+    bump(2);
+    return acc;
+}
+`
+	if got := assertAgree(t, src, "f"); got != [2]uint64{0, 8} {
+		t.Errorf("f() = %v", got)
+	}
+}
+
+func TestRaiseInLoop(t *testing.T) {
+	src := `
+exception Found;
+proc findFirstOver(limit, n) {
+    var i;
+    i = 0;
+    try {
+        while i < n {
+            if i * i > limit { raise Found(i); }
+            i = i + 1;
+        }
+    } except Found(v) {
+        return v;
+    }
+    return 0 - 1;
+}
+`
+	if got := assertAgree(t, src, "findFirstOver", 50, 100); got != [2]uint64{0, 8} {
+		t.Errorf("got %v, want (0, 8)", got)
+	}
+	if got := assertAgree(t, src, "findFirstOver", 1000000, 10); got[1] != 0xFFFFFFFF {
+		t.Errorf("not found: %v", got)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`proc f() { return g(); }`, "undefined procedure"},
+		{`proc f() { return x; }`, "undefined name"},
+		{`proc f() { raise Nope; }`, "undeclared exception"},
+		{`proc f(a) { return f(a, a); }`, "expects 1 arguments"},
+		{`exception E; exception E;`, "redeclared"},
+		{`var v; var v;`, "redeclared"},
+		{`proc f() { try { return 1; } except E { return 2; } }`, "undeclared exception"},
+		{`exception E; proc f() { try { return 1; } except E { return 2; } except E { return 3; } }`, "duplicate except"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, PolicyCutting)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`proc f( { }`,
+		`proc f() { x = ; }`,
+		`proc f() { try { } }`, // try without except
+		`proc f() { if }`,
+		`wibble;`,
+		`proc f() { return 1 }`, // missing ;
+	} {
+		if _, err := Parse(src); err == nil {
+			if _, err2 := Compile(src, PolicyCutting); err2 == nil {
+				t.Errorf("%q: expected error", src)
+			}
+		}
+	}
+}
+
+func TestDivZeroTagMatchesDispatcher(t *testing.T) {
+	if DivZeroTag != dispatch.DivZeroTag {
+		t.Fatalf("minim3 DivZeroTag %#x != dispatch.DivZeroTag %#x", DivZeroTag, dispatch.DivZeroTag)
+	}
+}
+
+// TestPolicyEquivalenceProperty drives randomized inputs through a
+// program exercising raises at many depths and requires all six
+// (policy, backend) combinations to agree — the repository's core
+// invariant, via testing/quick.
+func TestPolicyEquivalenceProperty(t *testing.T) {
+	src := `
+exception Odd;
+exception Big;
+proc work(depth, x) {
+    if depth == 0 {
+        if x % 2 == 1 { raise Odd(x); }
+        if x > 200 { raise Big(x); }
+        return x * 2;
+    }
+    return work(depth - 1, x + 1) + 1;
+}
+proc driver(depth, x) {
+    var r;
+    try {
+        r = work(depth % 8, x % 256);
+    } except Odd(v) {
+        r = 10000 + v;
+    } except Big(v) {
+        r = 20000 + v;
+    }
+    return r;
+}
+`
+	runners := map[string]*Runner{}
+	for _, pol := range Policies {
+		for _, be := range []Backend{BackendSem, BackendVM} {
+			key := fmt.Sprintf("%s/%d", pol, be)
+			r, err := NewRunner(src, pol, be)
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			runners[key] = r
+		}
+	}
+	f := func(depth, x uint16) bool {
+		var first [2]uint64
+		firstSet := false
+		for key, r := range runners {
+			status, value, err := r.Call("driver", uint64(depth), uint64(x))
+			if err != nil {
+				t.Logf("%s: %v", key, err)
+				return false
+			}
+			got := [2]uint64{status, value}
+			if !firstSet {
+				first, firstSet = got, true
+			} else if got != first {
+				t.Logf("driver(%d,%d): %s -> %v, expected %v", depth, x, key, got, first)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedCmmIsReadable(t *testing.T) {
+	for _, pol := range Policies {
+		out, err := Compile(gameSrc, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		switch pol {
+		case PolicyCutting:
+			for _, want := range []string{"mm_exn_top", "cut to", "also cuts to"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output lacks %q", pol, want)
+				}
+			}
+		case PolicyUnwinding:
+			for _, want := range []string{"also unwinds to", "descriptors(", "yield(1"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output lacks %q", pol, want)
+				}
+			}
+		case PolicyNativeUnwind:
+			for _, want := range []string{"also returns to", "return <0/1>", "return <1/1>"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output lacks %q", pol, want)
+				}
+			}
+		}
+	}
+}

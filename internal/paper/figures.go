@@ -1,0 +1,204 @@
+// Package paper holds faithful C-- transcriptions of the programs that
+// appear as figures in Ramsey & Peyton Jones, "A Single Intermediate
+// Language That Supports Multiple Implementations of Exceptions"
+// (PLDI 2000). They are shared by tests, examples, and benchmarks.
+//
+// Where the ACM full text is garbled (it is OCR of a scanned PDF), the
+// reconstruction follows the surrounding prose; each deviation is noted
+// in a comment.
+package paper
+
+// Figure1 contains the three procedures of Figure 1, each of which
+// computes the sum and product of the integers 1..n: sp1 by ordinary
+// recursion, sp2 by tail recursion through sp2_help, and sp3 by a loop.
+const Figure1 = `
+/* Ordinary recursion */
+export sp1;
+sp1(bits32 n) {
+    bits32 s, p;
+    if n == 1 {
+        return (1, 1);
+    } else {
+        s, p = sp1(n-1);
+        return (s+n, p*n);
+    }
+}
+
+/* Tail recursion */
+export sp2;
+sp2(bits32 n) {
+    jump sp2_help(n, 1, 1);
+}
+
+sp2_help(bits32 n, bits32 s, bits32 p) {
+    if n == 1 {
+        return (s, p);
+    } else {
+        jump sp2_help(n-1, s+n, p*n);
+    }
+}
+
+/* Loops */
+export sp3;
+sp3(bits32 n) {
+    bits32 s, p;
+    s = 1; p = 1;
+loop:
+    if n == 1 {
+        return (s, p);
+    } else {
+        s = s + n;
+        p = p * n;
+        n = n - 1;
+        goto loop;
+    }
+}
+`
+
+// Section41 is the continuation example of §4.1: g is passed continuation
+// k and may cut to it.
+const Section41 = `
+f(bits32 x, bits32 y) {
+    float64 w;
+    w = 0.0;
+    g(x, k) also cuts to k;   /* k may be "cut to" by g, or by something g calls */
+    return ();
+continuation k(x):
+    /* code for k, mentioning x, y, w */
+    y = y + x;
+    return ();
+}
+
+g(bits32 x, bits32 kv) {
+    if x == 0 {
+        cut to kv(x) also aborts;
+    }
+    return ();
+}
+`
+
+// Figure5 is the example procedure of Figure 5, whose translation to
+// Abstract C-- and SSA dataflow graph is Figure 6. The OCR garbles two
+// lines; following the SSA numbering in Figure 6 they are reconstructed
+// as "c = b + c + a" and "return (c)".
+const Figure5 = `
+f(bits32 a) {
+    bits32 b, c, d;
+    b = a;
+    c = a;
+    b, c = g() also unwinds to k;
+    c = b + c + a;
+    return (c);
+continuation k(d):
+    return (b + d);
+}
+`
+
+// Figure8Globals declares the global registers and static data that the
+// Modula-3 TryAMove translations (Figures 8 and 10) reference.
+const Figure8Globals = `
+bits32 player;
+bits32 players;
+bits32 next;
+bits32 movesTried;
+
+section "data" {
+    noTilesMsg: "Not enough tiles";
+}
+`
+
+// Figure8 is the C-- implementation of Modula-3 TryAMove using run-time
+// stack unwinding (Figure 8). The descriptor annotation stands for the
+// paper's "one or more arbitrary static data blocks" deposited for the
+// front-end run-time ("the syntax is not important in this paper").
+// "%" replaces the paper's "mod" operator spelling.
+const Figure8 = `
+TryAMove() {
+    bits32 s, t;
+    t = getMove(player) also unwinds to k1, k2 also aborts descriptors(tryAMoveDesc);
+    makeMove(t)         also unwinds to k1, k2 also aborts descriptors(tryAMoveDesc);
+    t = bits32[players];            /* load size of array from its descriptor */
+    next = (next + 1) % t;
+finish:
+    movesTried = movesTried + 1;
+    return ();
+continuation k1(s):
+    t = bits32[bits32[player] + 12];  /* load address of badmove method */
+    t(s);
+    goto finish;
+continuation k2():
+    t = bits32[bits32[player] + 12];  /* load address of badmove method */
+    t(noTilesMsg);
+    goto finish;
+}
+`
+
+// Figure10Globals declares the exception-stack register used by the
+// stack-cutting translation (Figure 10).
+const Figure10Globals = `
+bits32 exn_top;   /* top of exn stack */
+`
+
+// Figure10 is the C-- implementation of Modula-3 TryAMove using stack
+// cutting (Figure 10). BadMove and NoMoreTiles are exception tags passed
+// in as globals by the harness. sizeof(k) is the native word size, 4.
+const Figure10 = `
+TryAMove() {
+    bits32 t, exn_tag, arg, k1v;
+    exn_top = exn_top + 4;            /* put k on the dynamic exception stack */
+    bits32[exn_top] = k;
+    t = getMove(player) also cuts to k;
+    makeMove(t)         also cuts to k;
+    t = bits32[players];              /* load size of array from its descriptor */
+    next = (next + 1) % t;
+    exn_top = exn_top - 4;            /* leave TRY-EXCEPT-END */
+finish:
+    movesTried = movesTried + 1;
+    return ();
+continuation k(exn_tag, arg):
+    if exn_tag == BadMove {
+        t = bits32[bits32[player] + 12];  /* load address of badmove method */
+        t(arg);
+        goto finish;
+    } else {
+        if exn_tag == NoMoreTiles {
+            t = bits32[bits32[player] + 12];
+            t(noTilesMsg);
+            goto finish;
+        } else {
+            k1v = bits32[exn_top];
+            exn_top = exn_top - 4;
+            cut to k1v(exn_tag, arg) also aborts;
+        }
+    }
+}
+`
+
+// RaiseCutting is the code the paper gives for RAISE exn(val) under the
+// stack-cutting cost model (Appendix A.2).
+const RaiseCutting = `
+raise(bits32 exn_tag, bits32 val) {
+    bits32 k;
+    k = bits32[exn_top];      /* fetch current handler from stack */
+    exn_top = exn_top - 4;    /* pop stack */
+    cut to k(exn_tag, val) also aborts;   /* invoke the handler */
+}
+`
+
+// Section43Divu demonstrates the two variants of a failing primitive
+// (§4.3): %divu is fast but dangerous, %%divu maps failure into a yield.
+const Section43Divu = `
+export divide;
+divide(bits32 p, bits32 q) {
+    bits32 r;
+    r = %%divu(p, q) also unwinds to dz also aborts;
+    return (r);
+continuation dz():
+    return (0);
+}
+
+export divideFast;
+divideFast(bits32 p, bits32 q) {
+    return (%divu(p, q));
+}
+`

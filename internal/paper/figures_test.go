@@ -1,0 +1,59 @@
+package paper
+
+import (
+	"testing"
+
+	"cmm/internal/cfg"
+	"cmm/internal/check"
+	"cmm/internal/syntax"
+)
+
+// Every transcription must parse, check, and translate to Abstract C--
+// (given its imports).
+func TestAllFiguresBuild(t *testing.T) {
+	cases := map[string]string{
+		"Figure1":   Figure1,
+		"Section41": Section41,
+		"Figure5":   "import g;" + Figure5,
+		"Figure8": Figure8Globals +
+			"import getMove, makeMove; section \"d2\" { tryAMoveDesc: bits32 0; }" + Figure8,
+		"Figure10": Figure8Globals + Figure10Globals +
+			"import getMove, makeMove; bits32 BadMove = 101; bits32 NoMoreTiles = 102;" +
+			Figure10 + RaiseCutting,
+		"Section43": Section43Divu,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			parsed, err := syntax.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			info, err := check.Check(parsed)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if _, err := cfg.Build(parsed, info); err != nil {
+				t.Fatalf("build: %v", err)
+			}
+		})
+	}
+}
+
+// The transcriptions keep the paper's structure: quick structural spot
+// checks against Figure 1.
+func TestFigure1Shape(t *testing.T) {
+	parsed, err := syntax.Parse(Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Procs) != 4 {
+		t.Fatalf("procs: %d", len(parsed.Procs))
+	}
+	if len(parsed.Exports) != 3 {
+		t.Fatalf("exports: %v", parsed.Exports)
+	}
+	sp2 := parsed.Proc("sp2")
+	if _, ok := sp2.Body[0].(*syntax.JumpStmt); !ok {
+		t.Error("sp2 must start with a tail call")
+	}
+}

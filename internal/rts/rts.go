@@ -1,0 +1,134 @@
+// Package rts defines the C-- run-time interface of Table 1 as a Go
+// interface, with adapters for both executions of a program: the
+// abstract machine of the operational semantics (internal/sem) and the
+// compiled simulated machine (internal/vm). A front-end run-time system
+// written against this interface — like the exception dispatchers in
+// internal/dispatch — runs unchanged on either, which is exactly the
+// paper's point: "different front ends may interoperate with the same
+// C-- run-time system", and one front-end runtime works however the
+// back end represents activations.
+package rts
+
+import (
+	"cmm/internal/sem"
+	"cmm/internal/vm"
+)
+
+// Thread presents the state of a suspended C-- computation (§3.3). It is
+// valid during a yield.
+type Thread interface {
+	// FirstActivation returns the "currently executing" activation.
+	FirstActivation() (Activation, bool)
+	// SetActivation arranges for the thread to resume with activation a.
+	SetActivation(a Activation)
+	// SetUnwindCont arranges resumption at the n'th continuation of the
+	// chosen activation's also-unwinds-to list.
+	SetUnwindCont(n int)
+	// SetReturnCont arranges resumption at return continuation n.
+	SetReturnCont(n int)
+	// SetContParam stores the n'th parameter of the chosen continuation
+	// (Table 1's FindContParam fused with its store).
+	SetContParam(n int, v uint64)
+	// SetCutToCont arranges resumption by cutting the stack to
+	// continuation value k.
+	SetCutToCont(k uint64) error
+	// Resume transfers control back to generated code.
+	Resume() error
+
+	// Memory and global-register access for dispatchers.
+	LoadWord(addr uint64, size int) (uint64, error)
+	StoreWord(addr, v uint64, size int) error
+	GlobalWord(name string) (uint64, bool)
+	SetGlobalWord(name string, v uint64)
+}
+
+// Activation is one abstract activation on the thread's stack.
+type Activation interface {
+	// NextActivation returns the activation this one will return to.
+	NextActivation() (Activation, bool)
+	// GetDescriptor returns the n'th descriptor deposited at the
+	// suspended call site.
+	GetDescriptor(n int) (uint64, bool)
+	// DescriptorCount reports the number of descriptors.
+	DescriptorCount() int
+	// UnwindContCount reports the also-unwinds-to list length.
+	UnwindContCount() int
+	// ProcName names the procedure, for diagnostics.
+	ProcName() string
+}
+
+// --- Adapter over the abstract machine (internal/sem) ---
+
+// SemThread adapts a sem.Machine (during a yield) to Thread.
+type SemThread struct{ M *sem.Machine }
+
+type semAct struct{ a sem.Activation }
+
+func (s SemThread) FirstActivation() (Activation, bool) {
+	a, ok := s.M.FirstActivation()
+	if !ok {
+		return nil, false
+	}
+	return semAct{a}, true
+}
+
+func (s SemThread) SetActivation(a Activation)                { s.M.SetActivation(a.(semAct).a) }
+func (s SemThread) SetUnwindCont(n int)                       { s.M.SetUnwindCont(n) }
+func (s SemThread) SetReturnCont(n int)                       { s.M.SetReturnCont(n) }
+func (s SemThread) SetContParam(n int, v uint64)              { s.M.SetContParam(n, v) }
+func (s SemThread) SetCutToCont(k uint64) error               { return s.M.SetCutToCont(k) }
+func (s SemThread) Resume() error                             { return s.M.Resume() }
+func (s SemThread) LoadWord(a uint64, sz int) (uint64, error) { return s.M.Load(a, sz) }
+func (s SemThread) StoreWord(a, v uint64, sz int) error       { return s.M.Store(a, v, sz) }
+func (s SemThread) GlobalWord(name string) (uint64, bool)     { return s.M.GlobalWord(name) }
+func (s SemThread) SetGlobalWord(name string, v uint64)       { s.M.SetGlobalWord(name, v) }
+
+func (x semAct) NextActivation() (Activation, bool) {
+	a, ok := x.a.NextActivation()
+	if !ok {
+		return nil, false
+	}
+	return semAct{a}, true
+}
+func (x semAct) GetDescriptor(n int) (uint64, bool) { return x.a.GetDescriptor(n) }
+func (x semAct) DescriptorCount() int               { return x.a.DescriptorCount() }
+func (x semAct) UnwindContCount() int               { return x.a.UnwindContCount() }
+func (x semAct) ProcName() string                   { return x.a.ProcName() }
+
+// --- Adapter over the compiled machine (internal/vm) ---
+
+// VMThread adapts a vm.Thread to Thread.
+type VMThread struct{ T *vm.Thread }
+
+type vmAct struct{ a vm.Activation }
+
+func (s VMThread) FirstActivation() (Activation, bool) {
+	a, ok := s.T.FirstActivation()
+	if !ok {
+		return nil, false
+	}
+	return vmAct{a}, true
+}
+
+func (s VMThread) SetActivation(a Activation)                { s.T.SetActivation(a.(vmAct).a) }
+func (s VMThread) SetUnwindCont(n int)                       { s.T.SetUnwindCont(n) }
+func (s VMThread) SetReturnCont(n int)                       { s.T.SetReturnCont(n) }
+func (s VMThread) SetContParam(n int, v uint64)              { s.T.SetContParam(n, v) }
+func (s VMThread) SetCutToCont(k uint64) error               { return s.T.SetCutToCont(k) }
+func (s VMThread) Resume() error                             { return s.T.Resume() }
+func (s VMThread) LoadWord(a uint64, sz int) (uint64, error) { return s.T.LoadWord(a, sz) }
+func (s VMThread) StoreWord(a, v uint64, sz int) error       { return s.T.StoreWord(a, v, sz) }
+func (s VMThread) GlobalWord(name string) (uint64, bool)     { return s.T.GlobalWord(name) }
+func (s VMThread) SetGlobalWord(name string, v uint64)       { s.T.SetGlobalWord(name, v) }
+
+func (x vmAct) NextActivation() (Activation, bool) {
+	a, ok := x.a.NextActivation()
+	if !ok {
+		return nil, false
+	}
+	return vmAct{a}, true
+}
+func (x vmAct) GetDescriptor(n int) (uint64, bool) { return x.a.GetDescriptor(n) }
+func (x vmAct) DescriptorCount() int               { return x.a.DescriptorCount() }
+func (x vmAct) UnwindContCount() int               { return x.a.UnwindContCount() }
+func (x vmAct) ProcName() string                   { return x.a.ProcName() }

@@ -1,0 +1,57 @@
+package rts
+
+import (
+	"testing"
+
+	"cmm/internal/cfg"
+	"cmm/internal/check"
+	"cmm/internal/sem"
+	"cmm/internal/syntax"
+)
+
+// Compile-time interface compliance.
+var (
+	_ Thread = SemThread{}
+	_ Thread = VMThread{}
+)
+
+// TestSemAdapterMemoryAndGlobals exercises the adapter methods that the
+// dispatcher tests don't reach directly.
+func TestSemAdapterMemoryAndGlobals(t *testing.T) {
+	parsed, err := syntax.Parse(`bits32 g = 5; f() { return (g); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := check.Check(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(parsed, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sem.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := SemThread{M: m}
+	if err := th.StoreWord(0x9000, 0xABCD, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := th.LoadWord(0x9000, 4)
+	if err != nil || v != 0xABCD {
+		t.Fatalf("load: %x, %v", v, err)
+	}
+	g, ok := th.GlobalWord("g")
+	if !ok || g != 5 {
+		t.Fatalf("global: %d, %v", g, ok)
+	}
+	th.SetGlobalWord("g", 9)
+	if g, _ := th.GlobalWord("g"); g != 9 {
+		t.Fatalf("global after set: %d", g)
+	}
+	// No activations outside a yield.
+	if _, ok := th.FirstActivation(); ok {
+		t.Fatal("unexpected activation on an idle machine")
+	}
+}

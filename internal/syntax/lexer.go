@@ -1,0 +1,362 @@
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Error is a positioned syntax error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns C-- source text into tokens. Comments are C-style /* */ and
+// C++-style //.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) errf(p Pos, format string, args ...any) *Error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '.' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.peek() == -1 {
+					return l.errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: EOF, Pos: p}, nil
+	case isIdentStart(r):
+		return l.lexIdent(p), nil
+	case unicode.IsDigit(r):
+		return l.lexNumber(p)
+	case r == '\'':
+		return l.lexChar(p)
+	case r == '"':
+		return l.lexString(p)
+	case r == '%':
+		return l.lexPercent(p)
+	}
+	l.advance()
+	one := func(k Kind) (Token, error) { return Token{Kind: k, Pos: p}, nil }
+	two := func(next rune, k2, k1 Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: k2, Pos: p}, nil
+		}
+		return Token{Kind: k1, Pos: p}, nil
+	}
+	switch r {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACKET)
+	case ']':
+		return one(RBRACKET)
+	case ',':
+		return one(COMMA)
+	case ';':
+		return one(SEMI)
+	case ':':
+		return one(COLON)
+	case '+':
+		return one(PLUS)
+	case '-':
+		return one(MINUS)
+	case '*':
+		return one(STAR)
+	case '/':
+		return one(SLASH)
+	case '~':
+		return one(TILDE)
+	case '^':
+		return one(CARET)
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '&':
+		return two('&', ANDAND, AMP)
+	case '|':
+		return two('|', OROR, PIPE)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return one(SHL)
+		}
+		return two('=', LE, LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return one(SHR)
+		}
+		return two('=', GE, GT)
+	}
+	return Token{}, l.errf(p, "unexpected character %q", r)
+}
+
+func (l *Lexer) lexIdent(p Pos) Token {
+	var sb strings.Builder
+	for isIdentCont(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Pos: p, Text: text}
+	}
+	return Token{Kind: IDENT, Pos: p, Text: text}
+}
+
+func (l *Lexer) lexNumber(p Pos) (Token, error) {
+	var sb strings.Builder
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		sb.WriteRune(l.advance())
+		sb.WriteRune(l.advance())
+		for isHex(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		v, err := strconv.ParseUint(sb.String()[2:], 16, 64)
+		if err != nil {
+			return Token{}, l.errf(p, "bad hexadecimal literal %s", sb.String())
+		}
+		return Token{Kind: INT, Pos: p, Int: v, Text: sb.String()}, nil
+	}
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isFloat = true
+		sb.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		isFloat = true
+		sb.WriteRune(l.advance())
+		if l.peek() == '+' || l.peek() == '-' {
+			sb.WriteRune(l.advance())
+		}
+		if !unicode.IsDigit(l.peek()) {
+			return Token{}, l.errf(p, "malformed exponent in %s", sb.String())
+		}
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(sb.String(), 64)
+		if err != nil {
+			return Token{}, l.errf(p, "bad float literal %s", sb.String())
+		}
+		return Token{Kind: FLOAT, Pos: p, Flt: f, Text: sb.String()}, nil
+	}
+	v, err := strconv.ParseUint(sb.String(), 10, 64)
+	if err != nil {
+		return Token{}, l.errf(p, "bad integer literal %s", sb.String())
+	}
+	return Token{Kind: INT, Pos: p, Int: v, Text: sb.String()}, nil
+}
+
+func isHex(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+func (l *Lexer) lexChar(p Pos) (Token, error) {
+	l.advance() // opening quote
+	r := l.advance()
+	if r == -1 {
+		return Token{}, l.errf(p, "unterminated character literal")
+	}
+	if r == '\\' {
+		e, err := l.escape(p)
+		if err != nil {
+			return Token{}, err
+		}
+		r = e
+	}
+	if l.advance() != '\'' {
+		return Token{}, l.errf(p, "character literal must hold exactly one character")
+	}
+	return Token{Kind: INT, Pos: p, Int: uint64(r)}, nil
+}
+
+func (l *Lexer) lexString(p Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		r := l.advance()
+		switch r {
+		case -1, '\n':
+			return Token{}, l.errf(p, "unterminated string literal")
+		case '"':
+			return Token{Kind: STRING, Pos: p, Text: sb.String()}, nil
+		case '\\':
+			e, err := l.escape(p)
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteRune(e)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) escape(p Pos) (rune, error) {
+	r := l.advance()
+	switch r {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return r, nil
+	}
+	return 0, l.errf(p, "unknown escape sequence \\%c", r)
+}
+
+func (l *Lexer) lexPercent(p Pos) (Token, error) {
+	l.advance() // first %
+	double := false
+	if l.peek() == '%' {
+		l.advance()
+		double = true
+	}
+	if !isIdentStart(l.peek()) {
+		if double {
+			return Token{}, l.errf(p, "%%%% must be followed by a primitive name")
+		}
+		return Token{Kind: PERCENT, Pos: p}, nil
+	}
+	var sb strings.Builder
+	for isIdentCont(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	k := PRIM
+	if double {
+		k = PPRIM
+	}
+	return Token{Kind: k, Pos: p, Text: sb.String()}, nil
+}
+
+// LexAll tokenizes the whole input, for testing and tooling.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

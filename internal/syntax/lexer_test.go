@@ -1,0 +1,172 @@
+package syntax
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("x = y + 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, ASSIGN, IDENT, PLUS, INT, SEMI, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	toks, err := LexAll("cut to k also cuts to j jump return continuation yield goto if else export import section targets descriptors also unwinds returns aborts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{CUT, TO, IDENT, ALSO, CUTS, TO, IDENT, JUMP, RETURN,
+		CONTINUATION, YIELD, GOTO, IF, ELSE, EXPORT, IMPORT, SECTION,
+		TARGETS, DESCRIPTORS, ALSO, UNWINDS, RETURNS, ABORTS, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("== != <= >= << >> && || < > = ! & | ^ ~ + - * / ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{EQ, NE, LE, GE, SHL, SHR, ANDAND, OROR, LT, GT, ASSIGN,
+		NOT, AMP, PIPE, CARET, TILDE, PLUS, MINUS, STAR, SLASH, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		ival uint64
+		fval float64
+	}{
+		{"0", INT, 0, 0},
+		{"42", INT, 42, 0},
+		{"0x1f", INT, 31, 0},
+		{"0XFF", INT, 255, 0},
+		{"3.5", FLOAT, 0, 3.5},
+		{"2e3", FLOAT, 0, 2000},
+		{"1.5e-2", FLOAT, 0, 0.015},
+		{"'a'", INT, 'a', 0},
+		{"'\\n'", INT, '\n', 0},
+	}
+	for _, c := range cases {
+		toks, err := LexAll(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%s: got kind %s, want %s", c.src, toks[0].Kind, c.kind)
+			continue
+		}
+		if c.kind == INT && toks[0].Int != c.ival {
+			t.Errorf("%s: got %d, want %d", c.src, toks[0].Int, c.ival)
+		}
+		if c.kind == FLOAT && toks[0].Flt != c.fval {
+			t.Errorf("%s: got %g, want %g", c.src, toks[0].Flt, c.fval)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll(`"off board" "a\nb"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "off board" {
+		t.Errorf("got %q", toks[0].Text)
+	}
+	if toks[1].Text != "a\nb" {
+		t.Errorf("got %q", toks[1].Text)
+	}
+}
+
+func TestLexPrimitives(t *testing.T) {
+	toks, err := LexAll("%divu %%divu % x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{PRIM, PPRIM, PERCENT, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[0].Text != "divu" || toks[1].Text != "divu" {
+		t.Errorf("primitive names: got %q, %q", toks[0].Text, toks[1].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a /* block\ncomment */ b // line comment\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("c at line %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"/* unterminated",
+		`"unterminated`,
+		"'ab'",
+		"@",
+		"%% ",
+		"1.5e",
+	} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}

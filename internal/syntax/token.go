@@ -1,0 +1,165 @@
+// Package syntax implements the concrete syntax of the C-- subset used in
+// "A Single Intermediate Language That Supports Multiple Implementations of
+// Exceptions" (Ramsey & Peyton Jones, PLDI 2000): a lexer, an abstract
+// syntax tree, and a recursive-descent parser.
+//
+// The subset covers everything the paper's figures use: multi-result
+// procedures, tail calls (jump), goto and labels, weak continuations,
+// cut to, alternate returns (return <m/n>), the also-annotations on call
+// sites, explicit memory access (bitsNN[e]), global registers, static data
+// sections, call-site descriptors, and primitive operators in both
+// fast-but-dangerous (%op) and slow-but-solid (%%op) variants.
+package syntax
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the punctuation kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // 123, 0x1f, 'c'
+	FLOAT  // 1.5, 2e9
+	STRING // "text"
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	ASSIGN   // =
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	AMP     // &
+	PIPE    // |
+	CARET   // ^
+	TILDE   // ~
+	NOT     // !
+	SHL     // <<
+	SHR     // >>
+	EQ      // ==
+	NE      // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	ANDAND  // &&
+	OROR    // ||
+
+	PRIM  // %name  (fast-but-dangerous primitive)
+	PPRIM // %%name (slow-but-solid primitive)
+
+	kwStart
+	EXPORT
+	IMPORT
+	GOTO
+	JUMP
+	RETURN
+	IF
+	ELSE
+	CONTINUATION
+	CUT
+	TO
+	ALSO
+	CUTS
+	UNWINDS
+	RETURNS
+	ABORTS
+	YIELD
+	SECTION
+	DATA
+	DESCRIPTORS
+	TARGETS
+	kwEnd
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", FLOAT: "float", STRING: "string",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", SEMI: ";", COLON: ":", ASSIGN: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", NOT: "!",
+	SHL: "<<", SHR: ">>", EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||",
+	PRIM: "%primitive", PPRIM: "%%primitive",
+	EXPORT: "export", IMPORT: "import", GOTO: "goto", JUMP: "jump",
+	RETURN: "return", IF: "if", ELSE: "else", CONTINUATION: "continuation",
+	CUT: "cut", TO: "to", ALSO: "also", CUTS: "cuts", UNWINDS: "unwinds",
+	RETURNS: "returns", ABORTS: "aborts", YIELD: "yield",
+	SECTION: "section", DATA: "data", DESCRIPTORS: "descriptors", TARGETS: "targets",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"export":       EXPORT,
+	"import":       IMPORT,
+	"goto":         GOTO,
+	"jump":         JUMP,
+	"return":       RETURN,
+	"if":           IF,
+	"else":         ELSE,
+	"continuation": CONTINUATION,
+	"cut":          CUT,
+	"to":           TO,
+	"also":         ALSO,
+	"cuts":         CUTS,
+	"unwinds":      UNWINDS,
+	"returns":      RETURNS,
+	"aborts":       ABORTS,
+	"yield":        YIELD,
+	"section":      SECTION,
+	"data":         DATA,
+	"descriptors":  DESCRIPTORS,
+	"targets":      TARGETS,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string  // identifier text, primitive name (without % signs), or string body
+	Int  uint64  // value when Kind == INT
+	Flt  float64 // value when Kind == FLOAT
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INT:
+		return fmt.Sprintf("%d", t.Int)
+	case FLOAT:
+		return fmt.Sprintf("%g", t.Flt)
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	case PRIM:
+		return "%" + t.Text
+	case PPRIM:
+		return "%%" + t.Text
+	}
+	return t.Kind.String()
+}

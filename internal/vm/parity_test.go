@@ -1,0 +1,96 @@
+package vm
+
+import (
+	"testing"
+
+	"cmm/internal/codegen"
+)
+
+// Small semantics-parity checks between the two machines for operator
+// corners that codegen handles specially.
+func TestOperatorParity(t *testing.T) {
+	src := `
+logic(bits32 a, bits32 b) {
+    bits32 r;
+    r = (a && b) * 100 + (a || b) * 10 + (!a);
+    return (r);
+}
+shifts(bits32 a, bits32 s) {
+    return ((a << s) + (a >> s));
+}
+signedOps(bits32 a, bits32 b) {
+    bits32 q, r;
+    q = %divs(a, b);
+    r = %rems(a, b);
+    return (q, r);
+}
+floats() {
+    float64 x, y;
+    bits32 r;
+    x = 3.5;
+    y = 1.25;
+    r = 0;
+    if x > y {
+        r = r + 1;
+    }
+    if x * y == 4.375 {
+        r = r + 10;
+    }
+    return (r);
+}
+`
+	cp := compile(t, src, codegen.Options{})
+	inst, err := NewInstance(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := newSemMachine(buildCFG(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(proc string, args ...uint64) {
+		t.Helper()
+		ref, err := sm.Run(proc, args...)
+		if err != nil {
+			t.Fatalf("sem %s%v: %v", proc, args, err)
+		}
+		got, err := inst.Run(proc, args...)
+		if err != nil {
+			t.Fatalf("vm %s%v: %v", proc, args, err)
+		}
+		for i := range ref {
+			if ref[i].Bits != got[i] {
+				t.Errorf("%s%v result %d: sem %d vs vm %d", proc, args, i, ref[i].Bits, got[i])
+			}
+		}
+	}
+	check("logic", 0, 0)
+	check("logic", 0, 5)
+	check("logic", 7, 0)
+	check("logic", 7, 5)
+	check("shifts", 0x80000001, 1)
+	check("shifts", 1, 31)
+	check("shifts", 1, 40)            // out-of-range shift yields 0 on both
+	check("signedOps", 0xFFFFFFF9, 2) // -7 / 2, -7 % 2
+	check("signedOps", 7, 0xFFFFFFFE) // 7 / -2
+	check("floats")
+}
+
+func TestRemainderByZeroTrapsBoth(t *testing.T) {
+	src := `f(bits32 a, bits32 b) { return (a % b); }`
+	cp := compile(t, src, codegen.Options{})
+	inst, err := NewInstance(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run("f", 5, 0); err == nil {
+		t.Error("vm: remainder by zero must trap")
+	}
+	sm, err := newSemMachine(buildCFG(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Run("f", 5, 0); err == nil {
+		t.Error("sem: remainder by zero must go wrong")
+	}
+}

@@ -1,0 +1,11 @@
+package vm
+
+import (
+	"cmm/internal/cfg"
+	"cmm/internal/sem"
+)
+
+// newSemMachine builds an abstract machine for differential tests.
+func newSemMachine(p *cfg.Program) (*sem.Machine, error) {
+	return sem.New(p, sem.WithMaxSteps(5_000_000))
+}

@@ -1,0 +1,184 @@
+// Package vm loads compiled C-- programs (internal/codegen) onto the
+// simulated target machine (internal/machine) and implements the C--
+// run-time interface of Table 1 over compiled code: walking the stack of
+// activations frame by frame, restoring callee-saves registers as it
+// goes (exactly what NextActivation does in the paper), reading call-site
+// descriptors, and resuming execution at unwind, return, or cut
+// continuations.
+package vm
+
+import (
+	"fmt"
+
+	"cmm/internal/codegen"
+	"cmm/internal/machine"
+)
+
+// ForeignFunc implements an imported procedure. Arguments arrive in the
+// a-registers; results go back the same way.
+type ForeignFunc func(inst *Instance, args []uint64) ([]uint64, error)
+
+// RuntimeSystem is the front-end run-time system entered on yield.
+type RuntimeSystem interface {
+	Yield(t *Thread, args []uint64) error
+}
+
+// RuntimeFunc adapts a function to RuntimeSystem.
+type RuntimeFunc func(t *Thread, args []uint64) error
+
+// Yield implements RuntimeSystem.
+func (f RuntimeFunc) Yield(t *Thread, args []uint64) error { return f(t, args) }
+
+// Instance is a loaded program plus its machine.
+type Instance struct {
+	M   *machine.Machine
+	P   *codegen.Program
+	RTS RuntimeSystem
+
+	stubs     map[string]int // proc -> entry-stub pc (CALL proc; HALT)
+	stubStart int
+	stackTop  uint64
+}
+
+// Option configures an Instance.
+type Option func(*config)
+
+type config struct {
+	memSize int
+	rts     RuntimeSystem
+	foreign map[string]ForeignFunc
+}
+
+// WithMemSize sets the simulated memory size.
+func WithMemSize(n int) Option { return func(c *config) { c.memSize = n } }
+
+// WithRuntime installs the front-end run-time system.
+func WithRuntime(r RuntimeSystem) Option { return func(c *config) { c.rts = r } }
+
+// WithForeign implements an imported procedure in Go.
+func WithForeign(name string, f ForeignFunc) Option {
+	return func(c *config) { c.foreign[name] = f }
+}
+
+// NewInstance loads p onto a fresh machine.
+func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
+	c := &config{memSize: 4 << 20, foreign: map[string]ForeignFunc{}}
+	for _, o := range opts {
+		o(c)
+	}
+	inst := &Instance{P: p, RTS: c.rts, stubs: map[string]int{}}
+	m := machine.New(c.memSize)
+	inst.M = m
+
+	// Code: program text plus one entry stub per procedure.
+	code := append([]machine.Instr{}, p.Code...)
+	inst.stubStart = len(code)
+	for _, name := range p.Source.Order {
+		pi := p.Procs[name]
+		inst.stubs[name] = len(code)
+		code = append(code,
+			machine.Instr{Op: machine.OpCall, Target: pi.Entry, Sym: "stub " + name},
+			machine.Instr{Op: machine.OpHalt})
+	}
+	m.Code = code
+
+	// Data image and globals.
+	if p.Img.End() > uint64(c.memSize) {
+		return nil, fmt.Errorf("image does not fit in %d bytes of memory", c.memSize)
+	}
+	copy(m.Mem[p.Img.Base:], p.Img.Bytes)
+	for name, addr := range p.GlobalAddr {
+		if err := m.StoreWord(addr, p.GlobalInit[name], 8); err != nil {
+			return nil, err
+		}
+	}
+	inst.stackTop = uint64(c.memSize) - 64
+
+	// Foreign functions, in index order.
+	for i, name := range p.Foreigns {
+		f, ok := c.foreign[name]
+		idx := i
+		if !ok {
+			nm := name
+			m.ForeignFuncs = append(m.ForeignFuncs, func(m *machine.Machine) error {
+				return fmt.Errorf("imported procedure %s has no implementation (foreign #%d)", nm, idx)
+			})
+			continue
+		}
+		fn := f
+		m.ForeignFuncs = append(m.ForeignFuncs, func(m *machine.Machine) error {
+			args := make([]uint64, machine.NumA)
+			for j := 0; j < machine.NumA; j++ {
+				args[j] = m.Regs[machine.RA0+machine.Reg(j)]
+			}
+			res, err := fn(inst, args)
+			if err != nil {
+				return err
+			}
+			for j, v := range res {
+				if j < machine.NumA {
+					m.Regs[machine.RA0+machine.Reg(j)] = v
+				}
+			}
+			return nil
+		})
+	}
+
+	m.YieldHandler = func(m *machine.Machine) error {
+		if inst.RTS == nil {
+			return fmt.Errorf("yield with no run-time system installed")
+		}
+		t := &Thread{inst: inst}
+		args := make([]uint64, machine.NumA)
+		for j := 0; j < machine.NumA; j++ {
+			args[j] = m.Regs[machine.RA0+machine.Reg(j)]
+		}
+		if err := inst.RTS.Yield(t, args); err != nil {
+			return err
+		}
+		if !t.resumed {
+			return fmt.Errorf("run-time system returned without arranging resumption")
+		}
+		return nil
+	}
+	return inst, nil
+}
+
+// HeapStart returns the first free address past static data and globals,
+// usable by run-time systems (e.g. for an exception stack).
+func (inst *Instance) HeapStart() uint64 { return inst.P.HeapStart }
+
+// Run calls the named procedure with the given arguments and returns the
+// contents of the result registers after it returns.
+func (inst *Instance) Run(proc string, args ...uint64) ([]uint64, error) {
+	stub, ok := inst.stubs[proc]
+	if !ok {
+		return nil, fmt.Errorf("no procedure %s", proc)
+	}
+	if len(args) > machine.NumA {
+		return nil, fmt.Errorf("more than %d arguments", machine.NumA)
+	}
+	m := inst.M
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	m.Regs[machine.RSP] = inst.stackTop
+	for i, a := range args {
+		m.Regs[machine.RA0+machine.Reg(i)] = a
+	}
+	m.PC = stub
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	res := make([]uint64, machine.NumA)
+	for j := 0; j < machine.NumA; j++ {
+		res[j] = m.Regs[machine.RA0+machine.Reg(j)]
+	}
+	return res, nil
+}
+
+// Stats exposes the machine's counters.
+func (inst *Instance) Stats() machine.Counters { return inst.M.Stats }
+
+// ResetStats zeroes the counters (between benchmark phases).
+func (inst *Instance) ResetStats() { inst.M.Stats = machine.Counters{} }

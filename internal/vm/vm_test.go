@@ -1,0 +1,630 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"cmm/internal/cfg"
+	"cmm/internal/check"
+	"cmm/internal/codegen"
+	"cmm/internal/paper"
+	"cmm/internal/syntax"
+)
+
+func buildCFG(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	prog, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := cfg.Build(prog, info)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func compile(t *testing.T, src string, opts codegen.Options) *codegen.Program {
+	t.Helper()
+	cp, err := codegen.Compile(buildCFG(t, src), opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cp
+}
+
+func instance(t *testing.T, src string, opts ...Option) *Instance {
+	t.Helper()
+	inst, err := NewInstance(compile(t, src, codegen.Options{}), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func run1(t *testing.T, inst *Instance, proc string, args ...uint64) uint64 {
+	t.Helper()
+	res, err := inst.Run(proc, args...)
+	if err != nil {
+		t.Fatalf("run %s: %v", proc, err)
+	}
+	return res[0]
+}
+
+func TestFigure1Compiled(t *testing.T) {
+	inst := instance(t, paper.Figure1)
+	for n := uint64(1); n <= 10; n++ {
+		wantSum := n * (n + 1) / 2
+		wantProd := uint64(1)
+		for i := uint64(2); i <= n; i++ {
+			wantProd *= i
+		}
+		for _, proc := range []string{"sp1", "sp2", "sp3"} {
+			res, err := inst.Run(proc, n)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", proc, n, err)
+			}
+			if res[0] != wantSum || res[1] != wantProd {
+				t.Errorf("%s(%d) = (%d, %d), want (%d, %d)", proc, n, res[0], res[1], wantSum, wantProd)
+			}
+		}
+	}
+}
+
+func TestTailCallConstantStack(t *testing.T) {
+	// sp2 with a large n must not overflow the (small) simulated stack:
+	// jump deallocates the frame first.
+	cp := compile(t, paper.Figure1, codegen.Options{})
+	inst, err := NewInstance(cp, WithMemSize(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run("sp2", 200_000); err != nil {
+		t.Fatalf("deep tail recursion failed: %v", err)
+	}
+	// Ordinary recursion at the same depth must exhaust the stack.
+	if _, err := inst.Run("sp1", 200_000); err == nil {
+		t.Fatal("expected stack exhaustion for deep ordinary recursion")
+	}
+}
+
+func TestMemoryAndGlobals(t *testing.T) {
+	src := `
+bits32 counter = 10;
+f(bits32 a) {
+    counter = counter + 1;
+    bits32[a] = counter;
+    return (bits32[a]);
+}
+`
+	inst := instance(t, src)
+	heap := inst.HeapStart()
+	if got := run1(t, inst, "f", heap); got != 11 {
+		t.Errorf("got %d", got)
+	}
+	if got := run1(t, inst, "f", heap); got != 12 {
+		t.Errorf("second call: %d", got)
+	}
+}
+
+func TestDataSectionsCompiled(t *testing.T) {
+	src := `
+section "data" {
+    tbl: bits32 10, 20, 30;
+    msg: "hi";
+}
+f() {
+    bits32 v;
+    bits8 c;
+    v = bits32[tbl + 8];
+    c = bits8[msg];
+    return (v, c);
+}
+`
+	inst := instance(t, src)
+	res, err := inst.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 30 || res[1] != 'h' {
+		t.Errorf("got %d, %d", res[0], res[1])
+	}
+}
+
+func TestForeignCompiled(t *testing.T) {
+	src := `
+import twice;
+f(bits32 x) {
+    bits32 r;
+    r = twice(x);
+    return (r + 1);
+}
+`
+	inst := instance(t, src, WithForeign("twice", func(inst *Instance, args []uint64) ([]uint64, error) {
+		return []uint64{args[0] * 2}, nil
+	}))
+	if got := run1(t, inst, "f", 21); got != 43 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestIndirectCallThroughMemory(t *testing.T) {
+	// Figure 8's method-call shape: a code pointer loaded from memory.
+	src := `
+section "data" {
+    vtbl: bits32 0, 0, 0, method;
+}
+f(bits32 x) {
+    bits32 t, r;
+    t = bits32[vtbl + 12];
+    r = t(x);
+    return (r);
+}
+method(bits32 x) {
+    return (x + 7);
+}
+`
+	inst := instance(t, src)
+	if got := run1(t, inst, "f", 1); got != 8 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestAlternateReturnsBranchTable(t *testing.T) {
+	src := `
+classify(bits32 x) {
+    if x == 0 {
+        return <0/2> (x);
+    }
+    if x == 1 {
+        return <1/2> (x + 100);
+    }
+    return <2/2> (x + 200);
+}
+f(bits32 x) {
+    bits32 r;
+    r = classify(x) also returns to kzero, kone;
+    return (r);
+continuation kzero(r):
+    return (1000);
+continuation kone(r):
+    return (r);
+}
+`
+	for _, tb := range []bool{false, true} {
+		cp := compile(t, src, codegen.Options{TestAndBranch: tb})
+		inst, err := NewInstance(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []struct{ arg, want uint64 }{{0, 1000}, {1, 101}, {5, 205}} {
+			if got := run1(t, inst, "f", c.arg); got != c.want {
+				t.Errorf("testAndBranch=%v: f(%d) = %d, want %d", tb, c.arg, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBranchTableZeroNormalCaseOverhead(t *testing.T) {
+	// Figures 3/4: with the branch-table method the normal case executes
+	// no extra dynamic instructions versus the test-and-branch method,
+	// which pays a test per alternate on every normal return.
+	src := `
+g(bits32 x) {
+    return <1/1> (x);   /* normal return (index 1 of 1 alternate) */
+}
+f(bits32 n) {
+    bits32 i, r;
+    i = 0; r = 0;
+loop:
+    if i == n {
+        return (r);
+    }
+    r = g(i) also returns to k;
+    i = i + 1;
+    goto loop;
+continuation k(r):
+    return (r);
+}
+`
+	runWith := func(tb bool) int64 {
+		cp := compile(t, src, codegen.Options{TestAndBranch: tb})
+		inst, err := NewInstance(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run1(t, inst, "f", 1000); got != 999 {
+			t.Fatalf("f = %d", got)
+		}
+		return inst.Stats().Instrs
+	}
+	branchTable := runWith(false)
+	testBranch := runWith(true)
+	if branchTable >= testBranch {
+		t.Errorf("branch table executed %d instrs, test-and-branch %d; table must be cheaper in the normal case",
+			branchTable, testBranch)
+	}
+}
+
+func TestCutToCompiled(t *testing.T) {
+	// Section 4.1's shape compiled to native stack cutting.
+	inst := instance(t, paper.Section41)
+	if _, err := inst.Run("f", 0, 10); err != nil {
+		t.Fatalf("cut path: %v", err)
+	}
+	if _, err := inst.Run("f", 1, 10); err != nil {
+		t.Fatalf("normal path: %v", err)
+	}
+}
+
+func TestCutToConstantTime(t *testing.T) {
+	// The defining property of stack cutting (§4.2): cost independent of
+	// stack depth. Build a deep stack, cut from the bottom, compare
+	// cycles for depth 8 vs 64: the post-setup cut cost must not grow.
+	src := `
+f(bits32 depth) {
+    bits32 r;
+    r = dig(depth, k) also cuts to k;
+    return (r);
+continuation k(r):
+    return (r);
+}
+dig(bits32 n, bits32 kv) {
+    bits32 r;
+    if n == 0 {
+        cut to kv(42) also aborts;
+    }
+    r = dig(n - 1, kv) also aborts;
+    return (r);
+}
+`
+	cycles := func(depth uint64) int64 {
+		inst := instance(t, src)
+		if got := run1(t, inst, "f", depth); got != 42 {
+			t.Fatalf("f(%d) = %d", depth, got)
+		}
+		return inst.Stats().Cycles
+	}
+	c8, c64 := cycles(8), cycles(64)
+	// Total cycles grow linearly with the calls made, but the cut itself
+	// is constant; check the marginal cost per extra frame is just the
+	// call/return-free descent (no unwind work): the difference must be
+	// linear in depth with a small constant (the dig body), NOT with any
+	// per-frame unwind cost added. We check the per-frame increment
+	// equals the dig-body cost measured independently.
+	perFrame := (c64 - c8) / 56
+	if perFrame > 60 {
+		t.Errorf("per-frame cost %d cycles is too high for a constant-time cut", perFrame)
+	}
+}
+
+func TestRuntimeUnwindCompiled(t *testing.T) {
+	src := `
+f(bits32 y) {
+    bits32 r;
+    r = g(y) also unwinds to k also aborts;
+    return (r);
+continuation k(r):
+    return (r + y);
+}
+g(bits32 y) {
+    bits32 r;
+    r = h(y) also aborts;
+    return (r);
+}
+h(bits32 y) {
+    yield(y) also aborts;
+    return (0);
+}
+`
+	rts := RuntimeFunc(func(t *Thread, args []uint64) error {
+		a, ok := t.FirstActivation()
+		if !ok {
+			return nil
+		}
+		for a.UnwindContCount() == 0 {
+			a, ok = a.NextActivation()
+			if !ok {
+				return nil
+			}
+		}
+		t.SetActivation(a)
+		t.SetUnwindCont(0)
+		t.SetContParam(0, args[0]*10)
+		return t.Resume()
+	})
+	inst := instance(t, src, WithRuntime(rts))
+	// y=7: handler gets 70, returns 70+7.
+	if got := run1(t, inst, "f", 7); got != 77 {
+		t.Errorf("got %d, want 77", got)
+	}
+}
+
+func TestRuntimeUnwindRestoresCalleeSaves(t *testing.T) {
+	// y lives across the call in a callee-saves register; the walk must
+	// restore it so the handler sees the right value even though h
+	// clobbered the register bank.
+	src := `
+f(bits32 y) {
+    bits32 r;
+    r = mid(1) also unwinds to k also aborts;
+    return (r);
+continuation k:
+    return (y);
+}
+mid(bits32 junk) {
+    bits32 a, b, c, d;
+    /* occupy callee-saves registers across a call */
+    a = 11; b = 22; c = 33; d = 44;
+    deep(junk) also aborts;
+    return (a + b + c + d);
+}
+deep(bits32 junk) {
+    yield(0) also aborts;
+    return (0);
+}
+`
+	rts := RuntimeFunc(func(t *Thread, args []uint64) error {
+		a, ok := t.FirstActivation()
+		if !ok {
+			return nil
+		}
+		for a.UnwindContCount() == 0 {
+			a, ok = a.NextActivation()
+			if !ok {
+				return nil
+			}
+		}
+		t.SetActivation(a)
+		t.SetUnwindCont(0)
+		return t.Resume()
+	})
+	inst := instance(t, src, WithRuntime(rts))
+	if got := run1(t, inst, "f", 123); got != 123 {
+		t.Errorf("got %d, want 123 (callee-saves y must be restored)", got)
+	}
+}
+
+func TestRuntimeUnwindNeedsAborts(t *testing.T) {
+	src := `
+f() {
+    bits32 r;
+    r = mid() also unwinds to k also aborts;
+    return (r);
+continuation k:
+    return (1);
+}
+mid() {
+    deep();    /* no also aborts */
+    return (0);
+}
+deep() {
+    yield(0) also aborts;
+    return (0);
+}
+`
+	rts := RuntimeFunc(func(t *Thread, args []uint64) error {
+		a, ok := t.FirstActivation()
+		if !ok {
+			return nil
+		}
+		for a.UnwindContCount() == 0 {
+			a, ok = a.NextActivation()
+			if !ok {
+				return nil
+			}
+		}
+		t.SetActivation(a)
+		t.SetUnwindCont(0)
+		return t.Resume()
+	})
+	inst := instance(t, src, WithRuntime(rts))
+	_, err := inst.Run("f")
+	if err == nil || !strings.Contains(err.Error(), "also aborts") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRuntimeCutCompiled(t *testing.T) {
+	// SetCutToCont + SetContParam + Resume duplicates cut to (§4.2).
+	src := `
+bits32 handler;
+f() {
+    bits32 r;
+    handler = k;
+    r = g() also cuts to k;
+    return (r);
+continuation k(r):
+    return (r + 1);
+}
+g() {
+    yield(0) also aborts;
+    return (0);
+}
+`
+	rts := RuntimeFunc(func(t *Thread, args []uint64) error {
+		k, ok := t.GlobalWord("handler")
+		if !ok {
+			return nil
+		}
+		if err := t.SetCutToCont(k); err != nil {
+			return err
+		}
+		t.SetContParam(0, 30)
+		return t.Resume()
+	})
+	inst := instance(t, src, WithRuntime(rts))
+	if got := run1(t, inst, "f"); got != 31 {
+		t.Errorf("got %d, want 31", got)
+	}
+}
+
+func TestDescriptorsCompiled(t *testing.T) {
+	src := `
+section "data" {
+    desc: bits32 77;
+}
+f() {
+    bits32 r;
+    r = g() also unwinds to k also aborts descriptors(desc);
+    return (r);
+continuation k(r):
+    return (r);
+}
+g() {
+    yield(0) also aborts;
+    return (0);
+}
+`
+	rts := RuntimeFunc(func(t *Thread, args []uint64) error {
+		a, ok := t.FirstActivation()
+		if !ok {
+			return nil
+		}
+		for a.DescriptorCount() == 0 {
+			a, ok = a.NextActivation()
+			if !ok {
+				return nil
+			}
+		}
+		d, _ := a.GetDescriptor(0)
+		v, err := t.LoadWord(d, 4)
+		if err != nil {
+			return err
+		}
+		t.SetActivation(a)
+		t.SetUnwindCont(0)
+		t.SetContParam(0, v)
+		return t.Resume()
+	})
+	inst := instance(t, src, WithRuntime(rts))
+	if got := run1(t, inst, "f"); got != 77 {
+		t.Errorf("descriptor value: %d", got)
+	}
+}
+
+func TestSolidDivCompiled(t *testing.T) {
+	rts := RuntimeFunc(func(t *Thread, args []uint64) error {
+		a, ok := t.FirstActivation()
+		if !ok {
+			return nil
+		}
+		for a.UnwindContCount() == 0 {
+			a, ok = a.NextActivation()
+			if !ok {
+				return nil
+			}
+		}
+		t.SetActivation(a)
+		t.SetUnwindCont(0)
+		return t.Resume()
+	})
+	inst := instance(t, paper.Section43Divu, WithRuntime(rts))
+	if got := run1(t, inst, "divide", 10, 2); got != 5 {
+		t.Errorf("divide(10,2) = %d", got)
+	}
+	if got := run1(t, inst, "divide", 10, 0); got != 0 {
+		t.Errorf("divide(10,0) = %d, want 0", got)
+	}
+	if _, err := inst.Run("divideFast", 10, 0); err == nil {
+		t.Error("fast divide by zero must trap")
+	}
+}
+
+func TestCalleeSavesAblationChangesCode(t *testing.T) {
+	src := `
+f(bits32 y) {
+    bits32 r, s, u;
+    r = g(1);
+    r = r + y;
+    s = g(2);
+    s = s + y;
+    u = g(3);
+    u = u + y;
+    return (r + s + u);
+}
+g(bits32 x) { return (x); }
+`
+	normal := compile(t, src, codegen.Options{})
+	ablated := compile(t, src, codegen.Options{DisableCalleeSaves: true})
+	in1, _ := NewInstance(normal)
+	in2, _ := NewInstance(ablated)
+	if got := run1(t, in1, "f", 5); got != 1+2+3+15 {
+		t.Fatalf("normal: %d", got)
+	}
+	if got := run1(t, in2, "f", 5); got != 1+2+3+15 {
+		t.Fatalf("ablated: %d", got)
+	}
+	// The ablated version does strictly more memory traffic for y.
+	l1 := in1.Stats().Loads + in1.Stats().Stores
+	l2 := in2.Stats().Loads + in2.Stats().Stores
+	if l2 <= l1 {
+		t.Errorf("ablation should add memory traffic: %d vs %d", l1, l2)
+	}
+}
+
+func TestCodeSizeBranchTableOverhead(t *testing.T) {
+	// "it adds words to every call site, the space overhead may be
+	// considerable" — the branch-table method costs one jump per
+	// alternate continuation per call site.
+	src := `
+g() { return <2/2> (); }
+f() {
+    g() also returns to k0, k1;
+    return (0);
+continuation k0:
+    return (1);
+continuation k1:
+    return (2);
+}
+`
+	table := compile(t, src, codegen.Options{})
+	test := compile(t, src, codegen.Options{TestAndBranch: true})
+	if table.CodeSize("f") <= 0 || test.CodeSize("f") <= 0 {
+		t.Fatal("no code size")
+	}
+	// Both pay space, but the shapes differ: the table pays 1 instr per
+	// alternate; test-and-branch pays 2 (compare + branch).
+	if test.CodeSize("f") <= table.CodeSize("f") {
+		t.Errorf("test-and-branch call sites should be larger: table=%d test=%d",
+			table.CodeSize("f"), test.CodeSize("f"))
+	}
+}
+
+// Differential test: the compiled machine and the abstract machine agree
+// on the paper's programs.
+func TestCompiledAgreesWithSemantics(t *testing.T) {
+	srcs := []string{paper.Figure1}
+	for _, src := range srcs {
+		cp := compile(t, src, codegen.Options{})
+		inst, err := NewInstance(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		semP := buildCFG(t, src)
+		semM, err := newSemMachine(semP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := uint64(1); n <= 6; n++ {
+			for _, proc := range []string{"sp1", "sp2", "sp3"} {
+				vs, err := semM.Run(proc, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := inst.Run(proc, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vs[0].Bits != rs[0] || vs[1].Bits != rs[1] {
+					t.Errorf("%s(%d): sem (%d,%d) vs compiled (%d,%d)",
+						proc, n, vs[0].Bits, vs[1].Bits, rs[0], rs[1])
+				}
+			}
+		}
+	}
+}

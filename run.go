@@ -1,0 +1,240 @@
+package cmm
+
+import (
+	"fmt"
+
+	"cmm/internal/codegen"
+	"cmm/internal/dispatch"
+	"cmm/internal/machine"
+	"cmm/internal/rts"
+	"cmm/internal/sem"
+	"cmm/internal/vm"
+)
+
+// Dispatcher is a front-end run-time system: it receives control when
+// the program yields (§3.3) and must arrange resumption through the
+// Table 1 interface before returning.
+type Dispatcher interface {
+	Dispatch(t rts.Thread, args []uint64) error
+}
+
+// DispatcherFunc adapts a function to Dispatcher.
+type DispatcherFunc func(t rts.Thread, args []uint64) error
+
+// Dispatch implements Dispatcher.
+func (f DispatcherFunc) Dispatch(t rts.Thread, args []uint64) error { return f(t, args) }
+
+// NewUnwindDispatcher returns the Figure 9 dispatcher: it walks
+// activations reading exception descriptors and unwinds to the first
+// matching handler. Zero cost to enter a handler scope; dispatch walks
+// the stack.
+func NewUnwindDispatcher() Dispatcher { return &dispatch.UnwindDispatcher{} }
+
+// NewExnStackDispatcher returns the Appendix A.2 dispatcher: it pops a
+// handler continuation from the exception stack named by the global
+// register and cuts to it. Constant-time dispatch.
+func NewExnStackDispatcher(exnTopGlobal string) Dispatcher {
+	return &dispatch.ExnStackDispatcher{ExnTopGlobal: exnTopGlobal}
+}
+
+// NewRegisterDispatcher returns the §4.2 single-handler-register
+// dispatcher: raising cuts to the continuation held in the named global.
+func NewRegisterDispatcher(handlerGlobal string) Dispatcher {
+	return &dispatch.RegisterDispatcher{HandlerGlobal: handlerGlobal}
+}
+
+// DivZeroTag is the exception tag dispatchers use when a slow-but-solid
+// primitive (§4.3) fails.
+const DivZeroTag = dispatch.DivZeroTag
+
+// Foreign implements an imported procedure in Go: it receives the
+// value-passing area's contents and returns results for it.
+type Foreign func(args []uint64) ([]uint64, error)
+
+// RunConfig configures an execution target.
+type RunConfig struct {
+	MemSize    int // simulated memory size; 0 means the default
+	Dispatcher Dispatcher
+	Foreigns   map[string]Foreign
+}
+
+// RunOption configures Interp and Native.
+type RunOption func(*RunConfig)
+
+// WithMemSize sets the simulated memory size in bytes.
+func WithMemSize(n int) RunOption { return func(c *RunConfig) { c.MemSize = n } }
+
+// WithDispatcher installs the front-end run-time system entered on
+// yields.
+func WithDispatcher(d Dispatcher) RunOption { return func(c *RunConfig) { c.Dispatcher = d } }
+
+// WithForeign implements the imported procedure name in Go.
+func WithForeign(name string, f Foreign) RunOption {
+	return func(c *RunConfig) {
+		if c.Foreigns == nil {
+			c.Foreigns = map[string]Foreign{}
+		}
+		c.Foreigns[name] = f
+	}
+}
+
+// Interp executes the module on the abstract machine of the operational
+// semantics (§5). It is the reference implementation: every transition
+// follows a rule of §5.2, and programs that "go wrong" report exactly
+// why.
+type Interp struct {
+	m *sem.Machine
+}
+
+// Interp builds an interpreter for the module.
+func (m *Module) Interp(opts ...RunOption) (*Interp, error) {
+	var c RunConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	semOpts := []sem.Option{sem.WithMaxSteps(500_000_000)}
+	if c.MemSize > 0 {
+		semOpts = append(semOpts, sem.WithMemSize(c.MemSize))
+	}
+	if c.Dispatcher != nil {
+		d := c.Dispatcher
+		semOpts = append(semOpts, sem.WithRuntime(sem.RuntimeFunc(
+			func(mm *sem.Machine, vals []sem.Value) error {
+				args := make([]uint64, len(vals))
+				for i, v := range vals {
+					args[i] = v.Bits
+				}
+				return d.Dispatch(rts.SemThread{M: mm}, args)
+			})))
+	}
+	for name, f := range c.Foreigns {
+		fn := f
+		semOpts = append(semOpts, sem.WithForeign(name, func(mm *sem.Machine, vals []sem.Value) ([]sem.Value, error) {
+			args := make([]uint64, len(vals))
+			for i, v := range vals {
+				args[i] = v.Bits
+			}
+			res, err := fn(args)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]sem.Value, len(res))
+			for i, r := range res {
+				out[i] = sem.Word(r)
+			}
+			return out, nil
+		}))
+	}
+	mm, err := sem.New(m.prog, semOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Interp{m: mm}, nil
+}
+
+// Run executes the named procedure and returns the values it returned.
+func (i *Interp) Run(proc string, args ...uint64) ([]uint64, error) {
+	vs, err := i.m.Run(proc, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(vs))
+	for j, v := range vs {
+		out[j] = v.Bits
+	}
+	return out, nil
+}
+
+// Steps reports how many transitions the last runs took.
+func (i *Interp) Steps() int64 { return i.m.Steps }
+
+// CompileConfig selects code-generation strategies (the paper's
+// ablations).
+type CompileConfig struct {
+	// TestAndBranch replaces the branch-table method (Figures 3/4) with
+	// an index-and-compare sequence.
+	TestAndBranch bool
+	// NoCalleeSaves forces every value live across a call into the
+	// frame, approximating implementations without callee-saves
+	// registers (§2).
+	NoCalleeSaves bool
+}
+
+// Machine is the module compiled to the simulated target machine.
+type Machine struct {
+	inst *vm.Instance
+	prog *codegen.Program
+}
+
+// Native compiles the module and loads it on a fresh simulated machine.
+func (m *Module) Native(cc CompileConfig, opts ...RunOption) (*Machine, error) {
+	var c RunConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	cp, err := codegen.Compile(m.prog, codegen.Options{
+		TestAndBranch:      cc.TestAndBranch,
+		DisableCalleeSaves: cc.NoCalleeSaves,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var vopts []vm.Option
+	if c.MemSize > 0 {
+		vopts = append(vopts, vm.WithMemSize(c.MemSize))
+	}
+	if c.Dispatcher != nil {
+		d := c.Dispatcher
+		vopts = append(vopts, vm.WithRuntime(vm.RuntimeFunc(
+			func(t *vm.Thread, args []uint64) error {
+				return d.Dispatch(rts.VMThread{T: t}, args)
+			})))
+	}
+	for name, f := range c.Foreigns {
+		fn := f
+		vopts = append(vopts, vm.WithForeign(name, func(inst *vm.Instance, args []uint64) ([]uint64, error) {
+			return fn(args)
+		}))
+	}
+	inst, err := vm.NewInstance(cp, vopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{inst: inst, prog: cp}, nil
+}
+
+// Run executes the named procedure; results are the contents of the
+// result registers.
+func (mc *Machine) Run(proc string, args ...uint64) ([]uint64, error) {
+	return mc.inst.Run(proc, args...)
+}
+
+// Stats is the simulated machine's cost-model counters.
+type Stats = machine.Counters
+
+// Stats reports accumulated execution statistics.
+func (mc *Machine) Stats() Stats { return mc.inst.Stats() }
+
+// ResetStats zeroes the counters.
+func (mc *Machine) ResetStats() { mc.inst.ResetStats() }
+
+// CodeSize reports the number of instructions generated for a procedure
+// (the Figures 3/4 space comparison).
+func (mc *Machine) CodeSize(proc string) int { return mc.prog.CodeSize(proc) }
+
+// HeapStart returns the first free simulated address past static data,
+// usable for run-time structures such as exception stacks.
+func (mc *Machine) HeapStart() uint64 { return mc.prog.HeapStart }
+
+// Disassemble renders a procedure's generated code.
+func (mc *Machine) Disassemble(proc string) (string, error) {
+	pi := mc.prog.Procs[proc]
+	if pi == nil {
+		return "", fmt.Errorf("no procedure %s", proc)
+	}
+	out := ""
+	for i := pi.Entry; i < pi.End; i++ {
+		out += fmt.Sprintf("%5d: %s\n", i, machine.Disasm(mc.prog.Code[i]))
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+// The Figure 7 game in MiniM3.
+var next;
+exception BadMove;
+proc tryAMove(which) {
+    try {
+        if which == 1 { raise BadMove(7); }
+        next = next + 1;
+    } except BadMove(why) {
+        next = 1000 + why;
+    }
+    return next;
+}
