@@ -51,6 +51,11 @@ func runSim(b *testing.B, mach *cmm.Machine, check func(res []uint64) error, pro
 	b.ReportMetric(float64(s.Cycles)/float64(b.N), "cycles/op")
 	b.ReportMetric(float64(s.Instrs)/float64(b.N), "instrs/op")
 	b.ReportMetric(float64(s.Loads+s.Stores)/float64(b.N), "mem/op")
+	// Host throughput: how fast the simulator retires simulated
+	// instructions. Engine work changes this and ONLY this.
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(s.Instrs)/secs, "simInstrs/sec")
+	}
 }
 
 // --- Figure 1: the sum-and-product procedures ---
@@ -522,6 +527,9 @@ func benchTryAMove(b *testing.B, policy minim3.Policy, period uint64) {
 	s := r.Stats()
 	b.ReportMetric(float64(s.Cycles)/float64(b.N), "cycles/op")
 	b.ReportMetric(float64(s.Yields)/float64(b.N), "yields/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(s.Instrs)/secs, "simInstrs/sec")
+	}
 }
 
 func benchPolicySweep(b *testing.B, policy minim3.Policy) {
@@ -593,6 +601,34 @@ func benchPruning(b *testing.B, prune bool) {
 
 func BenchmarkAnnotationInference_Off(b *testing.B) { benchPruning(b, false) }
 func BenchmarkAnnotationInference_On(b *testing.B)  { benchPruning(b, true) }
+
+// --- Engine comparison: the same figures on the reference engine ---
+//
+// The *_RefEngine benchmarks rerun three interpreter-bound figures on
+// the one-Step()-per-instruction reference engine. Simulated metrics
+// (cycles/op, instrs/op, mem/op) are bit-identical to the default
+// threaded-code engine — asserted by TestBenchFiguresEngineParity — so
+// the only difference is host ns/op and simInstrs/sec.
+
+func BenchmarkFigure1_Sp3_RefEngine(b *testing.B) {
+	mach := benchMachine(b, paper.Figure1, cmm.CompileConfig{}, cmm.WithEngine(cmm.EngineRef))
+	runSim(b, mach, nil, "sp3", 20)
+}
+
+func BenchmarkFig34_BranchTable_RefEngine(b *testing.B) {
+	mach := benchMachine(b, fig34Src, cmm.CompileConfig{}, cmm.WithEngine(cmm.EngineRef))
+	runSim(b, mach, nil, "f", 1000)
+}
+
+func BenchmarkFigure2_CutTo_RefEngine(b *testing.B) {
+	mach := benchMachine(b, fig2CutSrc, cmm.CompileConfig{}, cmm.WithEngine(cmm.EngineRef))
+	runSim(b, mach, func(res []uint64) error {
+		if res[0] != 42 {
+			return fmt.Errorf("got %d", res[0])
+		}
+		return nil
+	}, "f", 256)
+}
 
 // --- The interpreter itself (the §5 semantics), for completeness ---
 

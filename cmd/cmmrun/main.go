@@ -1,20 +1,27 @@
-// Command cmmrun executes a C-- source file on the abstract machine of
-// the paper's operational semantics (§5). Programs that "go wrong"
-// report exactly which rule could not fire.
+// Command cmmrun executes a C-- source file. By default it runs the
+// abstract machine of the paper's operational semantics (§5), where
+// programs that "go wrong" report exactly which rule could not fire;
+// with -engine=fast or -engine=ref it compiles the program and runs it
+// on the simulated target machine instead (the threaded-code engine or
+// the reference stepper — simulated costs are identical under both).
 //
 // Usage:
 //
 //	cmmrun [flags] file.cmm
 //
-// Example:
+// Examples:
 //
 //	cmmrun -run sp3 -args 10 figure1.cmm
+//	cmmrun -engine=fast -stats -run sp3 -args 10 figure1.cmm
+//	cmmrun -engine=fast -cpuprofile cpu.out -run f -args 1000 fig34.cmm
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -25,8 +32,12 @@ var (
 	runProc    = flag.String("run", "main", "procedure to run")
 	argList    = flag.String("args", "", "comma-separated integer arguments")
 	doOpt      = flag.Bool("opt", false, "run the optimizer first")
-	steps      = flag.Bool("steps", false, "print the number of machine transitions")
+	steps      = flag.Bool("steps", false, "print the number of machine transitions (interp engine)")
 	dispatcher = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
+	engine     = flag.String("engine", "interp", "execution engine: interp (§5 semantics), fast (threaded code), or ref (reference stepper)")
+	stats      = flag.Bool("stats", false, "print simulated cost counters (fast/ref engines)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 )
 
 func main() {
@@ -59,10 +70,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown dispatcher %q", *dispatcher))
 	}
-	in, err := mod.Interp(opts...)
-	if err != nil {
-		fatal(err)
-	}
+
 	var args []uint64
 	if *argList != "" {
 		for _, part := range strings.Split(*argList, ",") {
@@ -73,13 +81,65 @@ func main() {
 			args = append(args, v)
 		}
 	}
-	res, err := in.Run(*runProc, args...)
-	if err != nil {
-		fatal(err)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
-	if *steps {
-		fmt.Printf("transitions: %d\n", in.Steps())
+
+	switch *engine {
+	case "interp":
+		in, err := mod.Interp(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := in.Run(*runProc, args...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
+		if *steps {
+			fmt.Printf("transitions: %d\n", in.Steps())
+		}
+	case "fast", "ref":
+		if *engine == "ref" {
+			opts = append(opts, cmm.WithEngine(cmm.EngineRef))
+		}
+		mach, err := mod.Native(cmm.CompileConfig{}, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := mach.Run(*runProc, args...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
+		if *stats {
+			s := mach.Stats()
+			fmt.Printf("cycles: %d instrs: %d loads: %d stores: %d branches: %d calls: %d yields: %d\n",
+				s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+		}
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want interp, fast, or ref)", *engine))
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,242 @@
+// Threaded-code pre-decoder for the fast engine (see fast.go).
+//
+// Decoding turns []Instr into a flat []fastOp with a dense opcode,
+// register indices widened for direct array access, per-op cycle deltas
+// resolved from the cost model, and a peephole pass that fuses the
+// dominant instruction pairs of the paper figures into superinstructions:
+//
+//   - compare/ALU followed by a branch on its result (loop tests,
+//     test-and-branch alternate returns),
+//   - a load followed by a non-trapping ALU op (epilogue restore +
+//     frame pop, global read + arithmetic),
+//   - back-to-back loads and back-to-back stores (prologue saves,
+//     epilogue restores, continuation (pc, sp) pairs).
+//
+// Fusion never changes the simulated cost model: a fused pair accounts
+// exactly the cycles, instruction count, and memory-op counters of its
+// unfused expansion, in the same order relative to trap points. The
+// second instruction of every fused pair keeps its own decoded slot, so
+// control transfers into the middle of a pair execute it unfused; the
+// fused op lives only in the first slot. Both properties are asserted by
+// the engine-parity tests here and in internal/vm.
+//
+// The divergence backstop (MaxInstrs) is also exact: fused pairs
+// re-check the budget between their halves, so a runaway program traps
+// at the same instruction, with the same PC, as under the reference
+// engine.
+package machine
+
+// Dense opcodes for the fast engine. Plain ops mirror Op; the f*-fused
+// codes are superinstructions introduced by the peephole pass.
+const (
+	fNop uint8 = iota
+	fLI
+	fMov
+	fALU
+	fALUI
+	fAddI // rd := truncate(rs + imm, width) — the dominant ALUI
+	fAdd  // rd := truncate(rs + rt, width) — the dominant ALU
+	fFPU
+	fLoad
+	fStore
+	fBZ
+	fBNZ
+	fJmp
+	fJmpR
+	fCall
+	fCallR
+	fRetOff
+	fYield
+	fForeign
+	fHalt
+	fTrap
+	fIllegal
+
+	// Fused superinstructions.
+	fALUBZ    // rd := rs <sub> rt; if rd == 0: pc := target
+	fALUBNZ   // rd := rs <sub> rt; if rd != 0: pc := target
+	fALUIBZ   // rd := rs <sub> imm; if rd == 0: pc := target
+	fALUIBNZ  // rd := rs <sub> imm; if rd != 0: pc := target
+	fLoadALU  // rd := mem[rs+imm]; rd2 := rs2 <sub2> rt2
+	fLoadALUI // rd := mem[rs+imm]; rd2 := rs2 <sub2> imm2
+	fLoadLoad // rd := mem[rs+imm]; rd2 := mem[rs2+imm2]
+	fStoreSt  // mem[rs+imm] := rt; mem[rs2+imm2] := rt2
+)
+
+// fastOp is one pre-decoded instruction (or fused pair). The *2 fields
+// describe the second element of a fused pair; cyc/cyc2 are the cycle
+// deltas of each element, resolved from the machine's cost model at
+// decode time.
+type fastOp struct {
+	code       uint8
+	sub, sub2  ALUOp
+	rd, rs, rt Reg
+	rd2, rs2   Reg
+	rt2        Reg
+	size       int32
+	size2      int32
+	width      int32
+	width2     int32
+	target     int32
+	imm        int64
+	imm2       int64
+	cyc        int64
+	cyc2       int64
+}
+
+// InvalidateDecode discards the cached pre-decoded program. Replacing
+// m.Code with a new slice invalidates the cache automatically; call this
+// only after mutating instructions of the current slice in place.
+func (m *Machine) InvalidateDecode() {
+	m.decoded = nil
+	m.decodedPtr = nil
+	m.decodedLen = 0
+}
+
+// ensureDecoded (re)builds the decoded program if m.Code or the cost
+// model changed since the last decode.
+func (m *Machine) ensureDecoded() {
+	if len(m.Code) == 0 {
+		m.InvalidateDecode()
+		return
+	}
+	if m.decodedPtr == &m.Code[0] && m.decodedLen == len(m.Code) && m.decodedCost == m.Cost {
+		return
+	}
+	m.decoded = decodeProgram(m.Code, m.Cost)
+	m.decodedPtr = &m.Code[0]
+	m.decodedLen = len(m.Code)
+	m.decodedCost = m.Cost
+}
+
+func decodeProgram(code []Instr, cost Costs) []fastOp {
+	out := make([]fastOp, len(code))
+	for i := range code {
+		out[i] = decodeOne(&code[i], cost)
+	}
+	for i := 0; i+1 < len(code); i++ {
+		if f, ok := fusePair(&code[i], &code[i+1], cost); ok {
+			out[i] = f
+		}
+	}
+	return out
+}
+
+func decodeOne(in *Instr, cost Costs) fastOp {
+	f := fastOp{
+		sub:    in.Sub,
+		rd:     in.Rd,
+		rs:     in.Rs,
+		rt:     in.Rt,
+		size:   int32(in.Size),
+		width:  int32(in.Width),
+		target: int32(in.Target),
+		imm:    in.Imm,
+	}
+	switch in.Op {
+	case OpNop:
+		f.code, f.cyc = fNop, cost.ALU
+	case OpLI:
+		f.code, f.cyc = fLI, cost.ALU
+	case OpMov:
+		f.code, f.cyc = fMov, cost.ALU
+	case OpALU:
+		f.code, f.cyc = fALU, cost.ALU
+		if in.Sub == AAdd {
+			f.code = fAdd
+		}
+	case OpALUI:
+		f.code, f.cyc = fALUI, cost.ALU
+		if in.Sub == AAdd {
+			f.code = fAddI
+		}
+	case OpFPU:
+		f.code, f.cyc = fFPU, cost.ALU
+	case OpLoad:
+		f.code, f.cyc = fLoad, cost.Load
+	case OpStore:
+		f.code, f.cyc = fStore, cost.Store
+	case OpBZ:
+		f.code, f.cyc = fBZ, cost.Branch
+	case OpBNZ:
+		f.code, f.cyc = fBNZ, cost.Branch
+	case OpJmp:
+		f.code, f.cyc = fJmp, cost.Jump
+	case OpJmpR:
+		f.code, f.cyc = fJmpR, cost.Jump
+	case OpCall:
+		f.code, f.cyc = fCall, cost.Call
+	case OpCallR:
+		f.code, f.cyc = fCallR, cost.Call
+	case OpRetOff:
+		f.code, f.cyc = fRetOff, cost.Ret
+	case OpYield:
+		f.code, f.cyc = fYield, cost.Yield
+	case OpForeign:
+		f.code, f.cyc = fForeign, cost.Foreign
+	case OpHalt:
+		f.code = fHalt
+	case OpTrap:
+		f.code = fTrap
+	default:
+		f.code, f.imm = fIllegal, int64(in.Op)
+	}
+	return f
+}
+
+// fusableALU reports whether an ALU sub-operation can never trap, which
+// is required for it to ride in the tail of a superinstruction.
+func fusableALU(sub ALUOp) bool {
+	switch sub {
+	case ADivU, ADivS, ARemU, ARemS, AF2I:
+		return false
+	}
+	return true
+}
+
+// fusePair builds a superinstruction for the pair (a, b) when their
+// combined semantics — including trap points and counter order — can be
+// reproduced exactly.
+func fusePair(a, b *Instr, cost Costs) (fastOp, bool) {
+	switch {
+	case (a.Op == OpALU || a.Op == OpALUI) && fusableALU(a.Sub) && a.Rd != RZero &&
+		(b.Op == OpBZ || b.Op == OpBNZ) && b.Rs == a.Rd:
+		f := decodeOne(a, cost)
+		switch {
+		case a.Op == OpALU && b.Op == OpBZ:
+			f.code = fALUBZ
+		case a.Op == OpALU && b.Op == OpBNZ:
+			f.code = fALUBNZ
+		case a.Op == OpALUI && b.Op == OpBZ:
+			f.code = fALUIBZ
+		default:
+			f.code = fALUIBNZ
+		}
+		f.target = int32(b.Target)
+		f.cyc2 = cost.Branch
+		return f, true
+	case a.Op == OpLoad && (b.Op == OpALU || b.Op == OpALUI) && fusableALU(b.Sub):
+		f := decodeOne(a, cost)
+		if b.Op == OpALU {
+			f.code = fLoadALU
+		} else {
+			f.code = fLoadALUI
+		}
+		f.sub2, f.rd2, f.rs2, f.rt2 = b.Sub, b.Rd, b.Rs, b.Rt
+		f.width2, f.imm2, f.cyc2 = int32(b.Width), b.Imm, cost.ALU
+		return f, true
+	case a.Op == OpLoad && b.Op == OpLoad:
+		f := decodeOne(a, cost)
+		f.code = fLoadLoad
+		f.rd2, f.rs2 = b.Rd, b.Rs
+		f.size2, f.imm2, f.cyc2 = int32(b.Size), b.Imm, cost.Load
+		return f, true
+	case a.Op == OpStore && b.Op == OpStore:
+		f := decodeOne(a, cost)
+		f.code = fStoreSt
+		f.rs2, f.rt2 = b.Rs, b.Rt
+		f.size2, f.imm2, f.cyc2 = int32(b.Size), b.Imm, cost.Store
+		return f, true
+	}
+	return fastOp{}, false
+}

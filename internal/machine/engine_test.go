@@ -1,0 +1,218 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// loopProgram sums 1..n with a fused compare-and-branch loop.
+func loopProgram(n int64) []Instr {
+	return []Instr{
+		{Op: OpLI, Rd: RT0, Imm: n},
+		{Op: OpLI, Rd: RT0 + 1, Imm: 0},
+		{Op: OpALU, Sub: AAdd, Rd: RT0 + 1, Rs: RT0 + 1, Rt: RT0, Width: 64}, // loop: acc += i
+		{Op: OpALUI, Sub: ASub, Rd: RT0, Rs: RT0, Imm: 1, Width: 64},         // i--
+		{Op: OpBNZ, Rs: RT0, Target: 2},
+		{Op: OpMov, Rd: RA0, Rs: RT0 + 1},
+		{Op: OpHalt},
+	}
+}
+
+// runBoth executes the same code on both engines from a fresh machine
+// and compares the complete visible state: error, registers, memory,
+// PC, and every counter.
+func runBoth(t *testing.T, code []Instr, setup func(m *Machine)) (*Machine, *Machine) {
+	t.Helper()
+	mk := func(e Engine) (*Machine, error) {
+		m := New(1 << 12)
+		m.Engine = e
+		m.Code = code
+		if setup != nil {
+			setup(m)
+		}
+		return m, m.Run()
+	}
+	ref, errRef := mk(EngineRef)
+	fast, errFast := mk(EngineFast)
+	if (errRef == nil) != (errFast == nil) {
+		t.Fatalf("engines disagree on failure: ref=%v fast=%v", errRef, errFast)
+	}
+	if errRef != nil && errRef.Error() != errFast.Error() {
+		t.Errorf("trap mismatch:\nref:  %v\nfast: %v", errRef, errFast)
+	}
+	if ref.Regs != fast.Regs {
+		t.Errorf("register mismatch:\nref:  %v\nfast: %v", ref.Regs, fast.Regs)
+	}
+	if ref.Stats != fast.Stats {
+		t.Errorf("counter mismatch:\nref:  %+v\nfast: %+v", ref.Stats, fast.Stats)
+	}
+	if ref.PC != fast.PC {
+		t.Errorf("pc mismatch: ref %d fast %d", ref.PC, fast.PC)
+	}
+	if !bytes.Equal(ref.Mem, fast.Mem) {
+		t.Errorf("memory mismatch")
+	}
+	return ref, fast
+}
+
+func TestEngineParityLoop(t *testing.T) {
+	ref, _ := runBoth(t, loopProgram(100), nil)
+	if ref.Regs[RA0] != 5050 {
+		t.Errorf("sum = %d, want 5050", ref.Regs[RA0])
+	}
+}
+
+// TestEngineParityFusedPairs drives every fused superinstruction shape,
+// including a branch that lands in the middle of a fusable pair (the
+// second slot must execute unfused).
+func TestEngineParityFusedPairs(t *testing.T) {
+	code := []Instr{
+		{Op: OpLI, Rd: RT0, Imm: 0x200},
+		{Op: OpLI, Rd: RT0 + 1, Imm: 0x1122334455667788},
+		{Op: OpLI, Rd: RT0 + 2, Imm: 7},
+		// store/store pair (fused).
+		{Op: OpStore, Rs: RT0, Rt: RT0 + 1, Imm: 0, Size: 8},
+		{Op: OpStore, Rs: RT0, Rt: RT0 + 2, Imm: 8, Size: 4},
+		// load/load pair (fused), second depends on the first.
+		{Op: OpLoad, Rd: RT0 + 3, Rs: RT0, Imm: 8, Size: 4},
+		{Op: OpLoad, Rd: RT0 + 4, Rs: RT0, Imm: 0, Size: 8},
+		// load-then-ALU pair (fused).
+		{Op: OpLoad, Rd: RT0 + 5, Rs: RT0, Imm: 0, Size: 2},
+		{Op: OpALUI, Sub: AAdd, Rd: RT0 + 5, Rs: RT0 + 5, Imm: 1, Width: 32},
+		// compare-and-branch pair (fused): jump INTO the middle of the
+		// next fusable pair.
+		{Op: OpALUI, Sub: AEq, Rd: RX0, Rs: RT0 + 2, Imm: 7, Width: 64},
+		{Op: OpBNZ, Rs: RX0, Target: 12},
+		// Pair whose head is skipped by the branch above: slot 12 must
+		// still run standalone.
+		{Op: OpALUI, Sub: AAdd, Rd: RT0 + 6, Rs: RT0 + 6, Imm: 1000, Width: 64},
+		{Op: OpALUI, Sub: AAdd, Rd: RT0 + 6, Rs: RT0 + 6, Imm: 1, Width: 64},
+		{Op: OpBZ, Rs: RZero, Target: 15},
+		{Op: OpTrap, Sym: "unreachable"},
+		// ALU(reg)-and-branch not taken, falls through the pair.
+		{Op: OpALU, Sub: ALtU, Rd: RX0 + 1, Rs: RT0 + 2, Rt: RT0, Width: 64},
+		{Op: OpBZ, Rs: RX0 + 1, Target: 14},
+		{Op: OpHalt},
+	}
+	ref, _ := runBoth(t, code, nil)
+	if ref.Regs[RT0+6] != 1 {
+		t.Errorf("branch into fused pair: t6 = %d, want 1", ref.Regs[RT0+6])
+	}
+	if ref.Regs[RT0+3] != 7 || ref.Regs[RT0+4] != 0x1122334455667788 || ref.Regs[RT0+5] != 0x7789 {
+		t.Errorf("fused mem state: t3=%#x t4=%#x t5=%#x", ref.Regs[RT0+3], ref.Regs[RT0+4], ref.Regs[RT0+5])
+	}
+}
+
+// TestEngineParityFusedTraps checks that a trap in either half of a
+// fused pair leaves identical machine state (counters, PC, message).
+func TestEngineParityFusedTraps(t *testing.T) {
+	cases := map[string][]Instr{
+		"first-store": {
+			{Op: OpLI, Rd: RT0, Imm: 1 << 30},
+			{Op: OpStore, Rs: RT0, Rt: RT0 + 1, Imm: 0, Size: 8},
+			{Op: OpStore, Rs: RZero, Rt: RT0 + 1, Imm: 0x100, Size: 8},
+			{Op: OpHalt},
+		},
+		"second-store": {
+			{Op: OpLI, Rd: RT0, Imm: 1 << 30},
+			{Op: OpStore, Rs: RZero, Rt: RT0 + 1, Imm: 0x100, Size: 8},
+			{Op: OpStore, Rs: RT0, Rt: RT0 + 1, Imm: 0, Size: 8},
+			{Op: OpHalt},
+		},
+		"second-load": {
+			{Op: OpLI, Rd: RT0, Imm: 1 << 30},
+			{Op: OpLoad, Rd: RT0 + 1, Rs: RZero, Imm: 0x100, Size: 8},
+			{Op: OpLoad, Rd: RT0 + 2, Rs: RT0, Imm: 0, Size: 8},
+			{Op: OpHalt},
+		},
+		"div-not-fused": {
+			{Op: OpLI, Rd: RT0, Imm: 5},
+			{Op: OpALU, Sub: ADivU, Rd: RT0 + 1, Rs: RT0, Rt: RZero, Width: 64},
+			{Op: OpBZ, Rs: RT0 + 1, Target: 3},
+			{Op: OpHalt},
+		},
+	}
+	for name, code := range cases {
+		t.Run(name, func(t *testing.T) { runBoth(t, code, nil) })
+	}
+}
+
+func TestEngineParityBudgetTrap(t *testing.T) {
+	// An infinite jump has no fused pairs.
+	code := []Instr{{Op: OpJmp, Target: 0}}
+	runBoth(t, code, func(m *Machine) { m.MaxInstrs = 1000 })
+
+	// A fused-pair loop, swept over budgets so the trap lands on every
+	// phase of the pair: the backstop must fire at the identical
+	// instruction (and PC) even mid-superinstruction.
+	loop := []Instr{
+		{Op: OpALUI, Sub: AAdd, Rd: RT0, Rs: RT0, Imm: 1, Width: 64},
+		{Op: OpBZ, Rs: RZero, Target: 0},
+	}
+	for budget := int64(999); budget <= 1002; budget++ {
+		runBoth(t, loop, func(m *Machine) { m.MaxInstrs = budget })
+	}
+}
+
+// TestEnginesAllocFree asserts the hot loop of BOTH engines allocates
+// nothing: the reference engine after the reg/set closure fix, the fast
+// engine after its one-time decode.
+func TestEnginesAllocFree(t *testing.T) {
+	for name, e := range map[string]Engine{"ref": EngineRef, "fast": EngineFast} {
+		t.Run(name, func(t *testing.T) {
+			m := New(1 << 12)
+			m.Engine = e
+			m.Code = loopProgram(50)
+			if err := m.Run(); err != nil { // warm-up: decode once
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				m.PC = 0
+				if err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s engine: %v allocs per run, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+func TestInvalidateDecode(t *testing.T) {
+	m := New(1 << 12)
+	m.Code = loopProgram(3)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// In-place mutation requires an explicit invalidate.
+	m.Code[0].Imm = 10
+	m.InvalidateDecode()
+	m.PC = 0
+	m.Regs = [NumRegs]uint64{}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[RA0] != 55 {
+		t.Errorf("after invalidate: sum = %d, want 55", m.Regs[RA0])
+	}
+}
+
+// benchEngine measures raw interpreter throughput on the sum loop.
+func benchEngine(b *testing.B, e Engine) {
+	m := New(1 << 12)
+	m.Engine = e
+	m.Code = loopProgram(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PC = 0
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.Stats.Instrs)/b.Elapsed().Seconds(), "simInstrs/sec")
+}
+
+func BenchmarkStepLoopRef(b *testing.B)  { benchEngine(b, EngineRef) }
+func BenchmarkStepLoopFast(b *testing.B) { benchEngine(b, EngineFast) }

@@ -1,0 +1,411 @@
+// The fast engine: a threaded-code loop over the pre-decoded program
+// (decode.go). It dispatches on a dense opcode with no function call per
+// instruction, keeps the hot counters in locals that are flushed to
+// Stats only at loop exits (halt, trap, yield, foreign call), and
+// executes the decoder's fused superinstructions.
+//
+// The engine is bit-identical to Step(): registers, memory, PC, and
+// every Counters field match the reference engine after any run,
+// including the partial counter state visible to run-time systems during
+// a yield and the machine state left behind by a trap.
+package machine
+
+import "encoding/binary"
+
+// RunFast executes until Halt or an error using the threaded-code
+// engine. Like Run, the caller must set PC and argument registers first.
+func (m *Machine) RunFast() error {
+	m.ensureDecoded()
+	m.halted = false
+	m.runStart = m.Stats.Instrs
+	for !m.halted {
+		if err := m.fastChunk(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fastFlush publishes the loop-local counter state back to the machine.
+func (m *Machine) fastFlush(pc int, total, cycles, loads, stores, branches, calls int64) {
+	m.PC = pc
+	m.Stats.Cycles += cycles
+	m.Stats.Instrs = total
+	m.Stats.Loads += loads
+	m.Stats.Stores += stores
+	m.Stats.Branches += branches
+	m.Stats.Calls += calls
+}
+
+// loadMem reads size bytes little-endian from mem; ok is false when the
+// access is out of bounds (the caller re-issues it via LoadWord to
+// produce the reference engine's trap).
+func loadMem(mem []byte, addr uint64, size int32) (uint64, bool) {
+	end := addr + uint64(size)
+	if end > uint64(len(mem)) || end < addr {
+		return 0, false
+	}
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(mem[addr:]), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(mem[addr:])), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(mem[addr:])), true
+	case 1:
+		return uint64(mem[addr]), true
+	}
+	var buf [8]byte
+	copy(buf[:], mem[addr:end])
+	v := binary.LittleEndian.Uint64(buf[:])
+	if size < 8 {
+		v &= 1<<uint(8*size) - 1
+	}
+	return v, true
+}
+
+// storeMem writes size bytes little-endian; ok is false when out of
+// bounds.
+func storeMem(mem []byte, addr, v uint64, size int32) bool {
+	end := addr + uint64(size)
+	if end > uint64(len(mem)) || end < addr {
+		return false
+	}
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(mem[addr:], v)
+	case 4:
+		binary.LittleEndian.PutUint32(mem[addr:], uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(mem[addr:], uint16(v))
+	case 1:
+		mem[addr] = byte(v)
+	default:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		copy(mem[addr:end], buf[:size])
+	}
+	return true
+}
+
+// fastChunk runs decoded ops until halt, an error, or a callout to the
+// run-time system or a foreign function (which must observe flushed
+// counters and may redirect the PC).
+func (m *Machine) fastChunk() error {
+	code := m.decoded
+	mem := m.Mem
+	regs := &m.Regs
+	regs[RZero] = 0
+	pc := m.PC
+	limit := m.runStart + m.MaxInstrs
+	total := m.Stats.Instrs
+	var cycles, loads, stores, branches, calls int64
+	for {
+		if uint(pc) >= uint(len(code)) {
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			return m.trapf("pc out of range")
+		}
+		op := &code[pc]
+		total++
+		if total > limit {
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
+		}
+		switch op.code {
+		case fNop:
+			cycles += op.cyc
+			pc++
+		case fLI:
+			if op.rd != RZero {
+				regs[op.rd] = uint64(op.imm)
+			}
+			cycles += op.cyc
+			pc++
+		case fMov:
+			if op.rd != RZero {
+				regs[op.rd] = regs[op.rs]
+			}
+			cycles += op.cyc
+			pc++
+		case fAddI:
+			if op.rd != RZero {
+				regs[op.rd] = truncate(regs[op.rs]+uint64(op.imm), int(op.width))
+			}
+			cycles += op.cyc
+			pc++
+		case fAdd:
+			if op.rd != RZero {
+				regs[op.rd] = truncate(regs[op.rs]+regs[op.rt], int(op.width))
+			}
+			cycles += op.cyc
+			pc++
+		case fALU, fALUI:
+			var b uint64
+			if op.code == fALUI {
+				b = uint64(op.imm)
+			} else {
+				b = regs[op.rt]
+			}
+			v, err := aluOp(op.sub, regs[op.rs], b, int(op.width))
+			if err != nil {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.trapf("%v", err)
+			}
+			if op.rd != RZero {
+				regs[op.rd] = v
+			}
+			cycles += op.cyc
+			pc++
+		case fFPU:
+			v, err := fpuOp(op.sub, regs[op.rs], regs[op.rt])
+			if err != nil {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.trapf("%v", err)
+			}
+			if op.rd != RZero {
+				regs[op.rd] = v
+			}
+			cycles += op.cyc
+			pc++
+		case fLoad:
+			addr := regs[op.rs] + uint64(op.imm)
+			v, ok := loadMem(mem, addr, op.size)
+			if !ok {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				_, err := m.LoadWord(addr, int(op.size))
+				return err
+			}
+			if op.rd != RZero {
+				regs[op.rd] = v
+			}
+			cycles += op.cyc
+			loads++
+			pc++
+		case fStore:
+			addr := regs[op.rs] + uint64(op.imm)
+			if !storeMem(mem, addr, regs[op.rt], op.size) {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.StoreWord(addr, regs[op.rt], int(op.size))
+			}
+			cycles += op.cyc
+			stores++
+			pc++
+		case fBZ:
+			if regs[op.rs] == 0 {
+				pc = int(op.target)
+			} else {
+				pc++
+			}
+			cycles += op.cyc
+			branches++
+		case fBNZ:
+			if regs[op.rs] != 0 {
+				pc = int(op.target)
+			} else {
+				pc++
+			}
+			cycles += op.cyc
+			branches++
+		case fJmp:
+			pc = int(op.target)
+			cycles += op.cyc
+			branches++
+		case fJmpR:
+			v := regs[op.rs]
+			cycles += op.cyc
+			branches++
+			if fi, isF := ForeignIndex(v); isF {
+				// Tail call to foreign code: run it, return via ra.
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				if err := m.callForeign(fi); err != nil {
+					return err
+				}
+				idx, ok := CodeIndex(m.Regs[RRA])
+				if !ok {
+					return m.trapf("foreign tail call with corrupt ra %#x", m.Regs[RRA])
+				}
+				m.PC = idx
+				return nil
+			}
+			idx, ok := CodeIndex(v)
+			if !ok {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.trapf("indirect jump to non-code address %#x", v)
+			}
+			pc = idx
+		case fCall:
+			regs[RRA] = CodeAddr(pc + 1)
+			pc = int(op.target)
+			cycles += op.cyc
+			calls++
+		case fCallR:
+			cycles += op.cyc
+			calls++
+			if fi, isF := ForeignIndex(regs[op.rs]); isF {
+				// Direct-style call to foreign code: run it and continue.
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				if err := m.callForeign(fi); err != nil {
+					return err
+				}
+				m.PC = pc + 1
+				return nil
+			}
+			regs[RRA] = CodeAddr(pc + 1)
+			v := regs[op.rs] // re-read: rs may be ra itself
+			idx, ok := CodeIndex(v)
+			if !ok {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.trapf("indirect call to non-code address %#x", v)
+			}
+			pc = idx
+		case fRetOff:
+			ra := regs[RRA]
+			idx, ok := CodeIndex(ra)
+			if !ok {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.trapf("return with corrupt ra %#x", ra)
+			}
+			pc = idx + int(op.imm)
+			cycles += op.cyc
+			branches++
+		case fYield:
+			cycles += op.cyc
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			m.Stats.Yields++
+			if m.YieldHandler == nil {
+				return m.trapf("yield with no run-time system")
+			}
+			m.PC = pc + 1 // the handler sees the resume point past the yield
+			if err := m.YieldHandler(m); err != nil {
+				return err
+			}
+			return nil // handler set PC
+		case fForeign:
+			cycles += op.cyc
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			m.PC = pc + 1
+			if err := m.callForeign(int(op.imm)); err != nil {
+				return err
+			}
+			return nil
+		case fHalt:
+			m.halted = true
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			return nil
+		case fTrap:
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			return m.trapf("trap: %s", m.Code[pc].Sym)
+		case fALUBZ, fALUBNZ, fALUIBZ, fALUIBNZ:
+			var b uint64
+			if op.code == fALUIBZ || op.code == fALUIBNZ {
+				b = uint64(op.imm)
+			} else {
+				b = regs[op.rt]
+			}
+			v, _ := aluOp(op.sub, regs[op.rs], b, int(op.width)) // fused subs never trap
+			regs[op.rd] = v                                      // fused only when rd != zero
+			cycles += op.cyc
+			total++
+			if total > limit {
+				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
+			}
+			cycles += op.cyc2
+			branches++
+			taken := v == 0
+			if op.code == fALUBNZ || op.code == fALUIBNZ {
+				taken = !taken
+			}
+			if taken {
+				pc = int(op.target)
+			} else {
+				pc += 2
+			}
+		case fLoadALU, fLoadALUI:
+			addr := regs[op.rs] + uint64(op.imm)
+			v, ok := loadMem(mem, addr, op.size)
+			if !ok {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				_, err := m.LoadWord(addr, int(op.size))
+				return err
+			}
+			if op.rd != RZero {
+				regs[op.rd] = v
+			}
+			cycles += op.cyc
+			loads++
+			total++
+			if total > limit {
+				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
+			}
+			var b uint64
+			if op.code == fLoadALUI {
+				b = uint64(op.imm2)
+			} else {
+				b = regs[op.rt2]
+			}
+			v2, _ := aluOp(op.sub2, regs[op.rs2], b, int(op.width2)) // fused subs never trap
+			if op.rd2 != RZero {
+				regs[op.rd2] = v2
+			}
+			cycles += op.cyc2
+			pc += 2
+		case fLoadLoad:
+			addr := regs[op.rs] + uint64(op.imm)
+			v, ok := loadMem(mem, addr, op.size)
+			if !ok {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				_, err := m.LoadWord(addr, int(op.size))
+				return err
+			}
+			if op.rd != RZero {
+				regs[op.rd] = v
+			}
+			cycles += op.cyc
+			loads++
+			total++
+			if total > limit {
+				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
+			}
+			addr2 := regs[op.rs2] + uint64(op.imm2)
+			v2, ok := loadMem(mem, addr2, op.size2)
+			if !ok {
+				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				_, err := m.LoadWord(addr2, int(op.size2))
+				return err
+			}
+			if op.rd2 != RZero {
+				regs[op.rd2] = v2
+			}
+			cycles += op.cyc2
+			loads++
+			pc += 2
+		case fStoreSt:
+			addr := regs[op.rs] + uint64(op.imm)
+			if !storeMem(mem, addr, regs[op.rt], op.size) {
+				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				return m.StoreWord(addr, regs[op.rt], int(op.size))
+			}
+			cycles += op.cyc
+			stores++
+			total++
+			if total > limit {
+				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
+			}
+			addr2 := regs[op.rs2] + uint64(op.imm2)
+			if !storeMem(mem, addr2, regs[op.rt2], op.size2) {
+				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				return m.StoreWord(addr2, regs[op.rt2], int(op.size2))
+			}
+			cycles += op.cyc2
+			stores++
+			pc += 2
+		default: // fIllegal
+			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			return m.trapf("illegal opcode %d", op.imm)
+		}
+	}
+}

@@ -233,6 +233,20 @@ type Counters struct {
 	Yields   int64
 }
 
+// Engine selects the execution loop used by Run. Both engines implement
+// the same cost model bit-for-bit; they differ only in host speed.
+type Engine uint8
+
+const (
+	// EngineFast is the threaded-code engine: it pre-decodes the
+	// instruction stream (decode.go), fuses common pairs into
+	// superinstructions, and batches counter updates. The default.
+	EngineFast Engine = iota
+	// EngineRef is the reference engine: one Step() per instruction,
+	// a direct transcription of the instruction semantics.
+	EngineRef
+)
+
 // Machine is the simulated CPU plus memory.
 type Machine struct {
 	Regs  [NumRegs]uint64
@@ -242,6 +256,10 @@ type Machine struct {
 	Cost  Costs
 	Stats Counters
 
+	// Engine selects the Run loop (fast threaded code vs. reference
+	// stepper). Simulated counters are identical under both.
+	Engine Engine
+
 	// Runtime hooks installed by the loader.
 	YieldHandler func(m *Machine) error
 	ForeignFuncs []func(m *Machine) error
@@ -250,6 +268,14 @@ type Machine struct {
 	// backstop); the counter itself accumulates across runs.
 	MaxInstrs int64
 	runStart  int64
+
+	// Pre-decoded program for the fast engine, cached per Code slice
+	// (decode.go). Replacing m.Code invalidates it automatically;
+	// mutating instructions in place requires InvalidateDecode.
+	decoded     []fastOp
+	decodedPtr  *Instr
+	decodedLen  int
+	decodedCost Costs
 }
 
 // TrapError reports that the machine executed a trap or an illegal
@@ -299,8 +325,12 @@ func (m *Machine) StoreWord(addr, v uint64, size int) error {
 func (m *Machine) Halted() bool { return m.halted }
 
 // Run executes until Halt or an error. The caller must set PC and any
-// argument registers first.
+// argument registers first. The execution loop is chosen by m.Engine;
+// simulated counters are bit-identical either way.
 func (m *Machine) Run() error {
+	if m.Engine == EngineFast {
+		return m.RunFast()
+	}
 	m.halted = false
 	m.runStart = m.Stats.Instrs
 	for !m.halted {
@@ -309,6 +339,21 @@ func (m *Machine) Run() error {
 		}
 	}
 	return nil
+}
+
+// reg reads a register; the zero register always reads as zero.
+func (m *Machine) reg(r Reg) uint64 {
+	if r == RZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// set writes a register; writes to the zero register are discarded.
+func (m *Machine) set(r Reg, v uint64) {
+	if r != RZero {
+		m.Regs[r] = v
+	}
 }
 
 func truncate(v uint64, width int) uint64 {
@@ -337,68 +382,57 @@ func (m *Machine) Step() error {
 	}
 	in := m.Code[m.PC]
 	next := m.PC + 1
-	reg := func(r Reg) uint64 {
-		if r == RZero {
-			return 0
-		}
-		return m.Regs[r]
-	}
-	set := func(r Reg, v uint64) {
-		if r != RZero {
-			m.Regs[r] = v
-		}
-	}
 	switch in.Op {
 	case OpNop:
 		m.Stats.Cycles += m.Cost.ALU
 	case OpLI:
-		set(in.Rd, uint64(in.Imm))
+		m.set(in.Rd, uint64(in.Imm))
 		m.Stats.Cycles += m.Cost.ALU
 	case OpMov:
-		set(in.Rd, reg(in.Rs))
+		m.set(in.Rd, m.reg(in.Rs))
 		m.Stats.Cycles += m.Cost.ALU
 	case OpALU, OpALUI:
 		var b uint64
 		if in.Op == OpALUI {
 			b = uint64(in.Imm)
 		} else {
-			b = reg(in.Rt)
+			b = m.reg(in.Rt)
 		}
-		v, err := aluOp(in.Sub, reg(in.Rs), b, in.Width)
+		v, err := aluOp(in.Sub, m.reg(in.Rs), b, in.Width)
 		if err != nil {
 			return m.trapf("%v", err)
 		}
-		set(in.Rd, v)
+		m.set(in.Rd, v)
 		m.Stats.Cycles += m.Cost.ALU
 	case OpFPU:
-		v, err := fpuOp(in.Sub, reg(in.Rs), reg(in.Rt))
+		v, err := fpuOp(in.Sub, m.reg(in.Rs), m.reg(in.Rt))
 		if err != nil {
 			return m.trapf("%v", err)
 		}
-		set(in.Rd, v)
+		m.set(in.Rd, v)
 		m.Stats.Cycles += m.Cost.ALU
 	case OpLoad:
-		v, err := m.LoadWord(reg(in.Rs)+uint64(in.Imm), in.Size)
+		v, err := m.LoadWord(m.reg(in.Rs)+uint64(in.Imm), in.Size)
 		if err != nil {
 			return err
 		}
-		set(in.Rd, v)
+		m.set(in.Rd, v)
 		m.Stats.Cycles += m.Cost.Load
 		m.Stats.Loads++
 	case OpStore:
-		if err := m.StoreWord(reg(in.Rs)+uint64(in.Imm), reg(in.Rt), in.Size); err != nil {
+		if err := m.StoreWord(m.reg(in.Rs)+uint64(in.Imm), m.reg(in.Rt), in.Size); err != nil {
 			return err
 		}
 		m.Stats.Cycles += m.Cost.Store
 		m.Stats.Stores++
 	case OpBZ:
-		if reg(in.Rs) == 0 {
+		if m.reg(in.Rs) == 0 {
 			next = in.Target
 		}
 		m.Stats.Cycles += m.Cost.Branch
 		m.Stats.Branches++
 	case OpBNZ:
-		if reg(in.Rs) != 0 {
+		if m.reg(in.Rs) != 0 {
 			next = in.Target
 		}
 		m.Stats.Cycles += m.Cost.Branch
@@ -410,33 +444,33 @@ func (m *Machine) Step() error {
 	case OpJmpR:
 		m.Stats.Cycles += m.Cost.Jump
 		m.Stats.Branches++
-		if fi, isF := ForeignIndex(reg(in.Rs)); isF {
+		if fi, isF := ForeignIndex(m.reg(in.Rs)); isF {
 			// A tail call to foreign code: run it, then return to the
 			// caller via ra.
 			if err := m.callForeign(fi); err != nil {
 				return err
 			}
-			idx, ok := CodeIndex(reg(RRA))
+			idx, ok := CodeIndex(m.reg(RRA))
 			if !ok {
-				return m.trapf("foreign tail call with corrupt ra %#x", reg(RRA))
+				return m.trapf("foreign tail call with corrupt ra %#x", m.reg(RRA))
 			}
 			m.PC = idx
 			return nil
 		}
-		idx, ok := CodeIndex(reg(in.Rs))
+		idx, ok := CodeIndex(m.reg(in.Rs))
 		if !ok {
-			return m.trapf("indirect jump to non-code address %#x", reg(in.Rs))
+			return m.trapf("indirect jump to non-code address %#x", m.reg(in.Rs))
 		}
 		next = idx
 	case OpCall:
-		set(RRA, CodeAddr(m.PC+1))
+		m.set(RRA, CodeAddr(m.PC+1))
 		next = in.Target
 		m.Stats.Cycles += m.Cost.Call
 		m.Stats.Calls++
 	case OpCallR:
 		m.Stats.Cycles += m.Cost.Call
 		m.Stats.Calls++
-		if fi, isF := ForeignIndex(reg(in.Rs)); isF {
+		if fi, isF := ForeignIndex(m.reg(in.Rs)); isF {
 			// A direct-style call to foreign code: run it and continue.
 			if err := m.callForeign(fi); err != nil {
 				return err
@@ -444,16 +478,16 @@ func (m *Machine) Step() error {
 			m.PC = next
 			return nil
 		}
-		set(RRA, CodeAddr(m.PC+1))
-		idx, ok := CodeIndex(reg(in.Rs))
+		m.set(RRA, CodeAddr(m.PC+1))
+		idx, ok := CodeIndex(m.reg(in.Rs))
 		if !ok {
-			return m.trapf("indirect call to non-code address %#x", reg(in.Rs))
+			return m.trapf("indirect call to non-code address %#x", m.reg(in.Rs))
 		}
 		next = idx
 	case OpRetOff:
-		idx, ok := CodeIndex(reg(RRA))
+		idx, ok := CodeIndex(m.reg(RRA))
 		if !ok {
-			return m.trapf("return with corrupt ra %#x", reg(RRA))
+			return m.trapf("return with corrupt ra %#x", m.reg(RRA))
 		}
 		next = idx + int(in.Imm)
 		m.Stats.Cycles += m.Cost.Ret

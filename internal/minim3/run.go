@@ -136,6 +136,14 @@ func (r *Runner) Call(proc string, args ...uint64) (status, value uint64, err er
 	return res[0], res[1], nil
 }
 
+// SetEngine selects the simulated machine's execution loop (BackendVM
+// only; the default is the fast threaded-code engine).
+func (r *Runner) SetEngine(e machine.Engine) {
+	if r.inst != nil {
+		r.inst.M.Engine = e
+	}
+}
+
 // Stats reports the simulated machine's counters (BackendVM only).
 func (r *Runner) Stats() machine.Counters {
 	if r.inst != nil {

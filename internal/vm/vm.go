@@ -45,12 +45,18 @@ type Option func(*config)
 
 type config struct {
 	memSize int
+	engine  machine.Engine
 	rts     RuntimeSystem
 	foreign map[string]ForeignFunc
 }
 
 // WithMemSize sets the simulated memory size.
 func WithMemSize(n int) Option { return func(c *config) { c.memSize = n } }
+
+// WithEngine selects the machine's execution loop (the fast threaded-
+// code engine by default; machine.EngineRef for the reference stepper).
+// Simulated counters are bit-identical under both.
+func WithEngine(e machine.Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithRuntime installs the front-end run-time system.
 func WithRuntime(r RuntimeSystem) Option { return func(c *config) { c.rts = r } }
@@ -68,6 +74,7 @@ func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 	}
 	inst := &Instance{P: p, RTS: c.rts, stubs: map[string]int{}}
 	m := machine.New(c.memSize)
+	m.Engine = c.engine
 	inst.M = m
 
 	// Code: program text plus one entry stub per procedure.

@@ -51,9 +51,25 @@ const DivZeroTag = dispatch.DivZeroTag
 // value-passing area's contents and returns results for it.
 type Foreign func(args []uint64) ([]uint64, error)
 
+// Engine selects the simulated machine's execution loop. Both engines
+// implement the cost model bit-for-bit — simulated cycles, instruction
+// counts, and memory traffic are identical — and differ only in host
+// wall-clock speed. The parity suite in internal/vm asserts this on
+// every paper figure and on randomized programs.
+type Engine = machine.Engine
+
+const (
+	// EngineFast is the threaded-code engine (pre-decoded dispatch,
+	// fused superinstructions, batched counters). The default.
+	EngineFast = machine.EngineFast
+	// EngineRef is the reference engine: one Step() per instruction.
+	EngineRef = machine.EngineRef
+)
+
 // RunConfig configures an execution target.
 type RunConfig struct {
 	MemSize    int // simulated memory size; 0 means the default
+	Engine     Engine
 	Dispatcher Dispatcher
 	Foreigns   map[string]Foreign
 }
@@ -63,6 +79,10 @@ type RunOption func(*RunConfig)
 
 // WithMemSize sets the simulated memory size in bytes.
 func WithMemSize(n int) RunOption { return func(c *RunConfig) { c.MemSize = n } }
+
+// WithEngine selects the execution engine for Native machines (EngineFast
+// is the default; Interp ignores the option).
+func WithEngine(e Engine) RunOption { return func(c *RunConfig) { c.Engine = e } }
 
 // WithDispatcher installs the front-end run-time system entered on
 // yields.
@@ -180,6 +200,7 @@ func (m *Module) Native(cc CompileConfig, opts ...RunOption) (*Machine, error) {
 		return nil, err
 	}
 	var vopts []vm.Option
+	vopts = append(vopts, vm.WithEngine(c.Engine))
 	if c.MemSize > 0 {
 		vopts = append(vopts, vm.WithMemSize(c.MemSize))
 	}
