@@ -10,6 +10,9 @@
 //	cmmc -run sp1 -args 10 figure1.cmm
 //	cmmc -opt -disasm f -stats -run f -args 3 prog.cmm
 //	cmmc -dispatcher unwind -run TryAMove game.cmm
+//	cmmc -passes -timings -opt prog.cmm
+//	cmmc -dump-after=opt -proc f prog.cmm
+//	cmmc -minim3 cutting -timings -run run_Main prog.mm
 package main
 
 import (
@@ -31,22 +34,47 @@ var (
 	dispatcher = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
 	testBranch = flag.Bool("test-and-branch", false, "use test-and-branch instead of branch-table alternate returns")
 	noSaves    = flag.Bool("no-callee-saves", false, "disable callee-saves register allocation")
+
+	passes    = flag.Bool("passes", false, "list the compilation passes, in order")
+	timings   = flag.Bool("timings", false, "print per-pass wall time and IR-size deltas")
+	dumpAfter = flag.String("dump-after", "", "comma-separated pass names to snapshot the IR after")
+	dumpProc  = flag.String("proc", "", "restrict -dump-after snapshots to one procedure")
+	workers   = flag.Int("workers", 0, "procedure-level parallelism (0: NumCPU, 1: serial); output is identical for every value")
+	minim3Pol = flag.String("minim3", "", "treat the input as MiniM3 under this exception policy: cutting, unwinding, or native")
+	diags     = flag.Bool("diags", false, "print structured diagnostics (notes included) after compiling")
 )
 
 func main() {
 	flag.Parse()
+	if *passes && flag.NArg() == 0 {
+		printPasses()
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cmmc [flags] file.cmm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
 	}
-	mod, err := cmm.Load(string(src))
+	lc := cmm.LoadConfig{File: file, Workers: *workers, DumpProc: *dumpProc}
+	if *dumpAfter != "" {
+		lc.DumpAfter = strings.Split(*dumpAfter, ",")
+	}
+	var mod *cmm.Module
+	if *minim3Pol != "" {
+		mod, err = cmm.LoadMiniM3With(string(src), parsePolicy(*minim3Pol), lc)
+	} else {
+		mod, err = cmm.LoadWith(string(src), lc)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *passes {
+		printPasses()
 	}
 	if *doOpt {
 		fmt.Println("optimizer:", mod.Optimize())
@@ -54,6 +82,10 @@ func main() {
 	var opts []cmm.RunOption
 	if d := makeDispatcher(*dispatcher); d != nil {
 		opts = append(opts, cmm.WithDispatcher(d))
+	} else if *minim3Pol != "" {
+		if d := minim3Dispatcher(*minim3Pol); d != nil {
+			opts = append(opts, cmm.WithDispatcher(d))
+		}
 	}
 	mach, err := mod.Native(cmm.CompileConfig{
 		TestAndBranch: *testBranch,
@@ -82,6 +114,51 @@ func main() {
 				s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
 		}
 	}
+	for _, pass := range lc.DumpAfter {
+		for _, proc := range mod.DumpAfterProcs(pass) {
+			text, _ := mod.DumpAfter(pass, proc)
+			fmt.Printf("=== %s after %s ===\n%s", proc, pass, text)
+		}
+	}
+	if *diags {
+		for _, d := range mod.Diagnostics() {
+			fmt.Println(d)
+		}
+	}
+	if *timings {
+		fmt.Print(cmm.FormatPassStats(mod.PassStats()))
+	}
+}
+
+func printPasses() {
+	for _, name := range cmm.PassNames() {
+		fmt.Println(name)
+	}
+}
+
+func parsePolicy(spec string) cmm.ExceptionPolicy {
+	switch spec {
+	case "cutting":
+		return cmm.StackCutting
+	case "unwinding":
+		return cmm.RuntimeUnwinding
+	case "native":
+		return cmm.NativeUnwinding
+	}
+	fatal(fmt.Errorf("unknown MiniM3 policy %q (want cutting, unwinding, or native)", spec))
+	panic("unreachable")
+}
+
+// minim3Dispatcher installs the runtime each MiniM3 policy requires (the
+// names match the globals the MiniM3 emitter declares).
+func minim3Dispatcher(spec string) cmm.Dispatcher {
+	switch spec {
+	case "cutting":
+		return cmm.NewExnStackDispatcher("mm_exn_top")
+	case "unwinding":
+		return cmm.NewUnwindDispatcher()
+	}
+	return nil // native: dispatch is entirely generated code
 }
 
 func makeDispatcher(spec string) cmm.Dispatcher {

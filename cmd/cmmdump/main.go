@@ -1,10 +1,12 @@
 // Command cmmdump prints a procedure's Abstract C-- flow graph
-// (Table 2), its SSA numbering (the Figure 6 presentation), or its
-// live-variable sets.
+// (Table 2), its SSA numbering (the Figure 6 presentation), its
+// live-variable sets, or a pipeline snapshot of the IR after a named
+// pass.
 //
 // Usage:
 //
 //	cmmdump [-opt] [-proc name] [-ssa|-live|-graph] file.cmm
+//	cmmdump -after=opt -proc f file.cmm
 package main
 
 import (
@@ -23,6 +25,7 @@ var (
 	doOpt   = flag.Bool("opt", false, "run the optimizer first")
 	m3pol   = flag.String("minim3", "", "treat input as MiniM3 and compile under policy: cutting, unwinding, native")
 	emitCmm = flag.Bool("emit-cmm", false, "with -minim3: print the generated C-- source")
+	after   = flag.String("after", "", "print the pipeline snapshot of the IR after this pass (see cmmc -passes)")
 )
 
 func main() {
@@ -58,12 +61,34 @@ func main() {
 			return
 		}
 	}
-	mod, err := cmm.Load(src)
+	lc := cmm.LoadConfig{File: flag.Arg(0), DumpProc: *proc}
+	if *after != "" {
+		lc.DumpAfter = []string{*after}
+	}
+	mod, err := cmm.LoadWith(src, lc)
 	if err != nil {
 		fatal(err)
 	}
 	if *doOpt {
 		fmt.Println("optimizer:", mod.Optimize())
+	}
+	if *after != "" {
+		// The codegen/link snapshots exist only once code is generated;
+		// the Abstract C-- ones are captured as the passes run.
+		if *after == "codegen" || *after == "link" {
+			if _, err := mod.Native(cmm.CompileConfig{}); err != nil {
+				fatal(err)
+			}
+		}
+		procs := mod.DumpAfterProcs(*after)
+		if len(procs) == 0 {
+			fatal(fmt.Errorf("no snapshot after pass %q for %q (did the pass run? -opt enables opt)", *after, *proc))
+		}
+		for _, p := range procs {
+			text, _ := mod.DumpAfter(*after, p)
+			fmt.Printf("=== %s after %s ===\n%s", p, *after, text)
+		}
+		return
 	}
 	procs := mod.Procedures()
 	if *proc != "" {

@@ -28,42 +28,120 @@ package cmm
 import (
 	"fmt"
 
-	"cmm/internal/cfg"
-	"cmm/internal/check"
 	"cmm/internal/dataflow"
+	"cmm/internal/diag"
 	"cmm/internal/minim3"
 	"cmm/internal/opt"
-	"cmm/internal/syntax"
+	"cmm/internal/pipeline"
 )
 
 // Module is a checked and translated C-- compilation unit: one Abstract
-// C-- graph per procedure plus the static data it runs against.
+// C-- graph per procedure plus the static data it runs against. Every
+// module is backed by a pipeline session — a declared, ordered list of
+// named passes — so per-pass timings (PassStats), structured
+// diagnostics (Diagnostics), and IR snapshots (DumpAfter) are available
+// for any load.
 type Module struct {
-	prog *cfg.Program
-	info *check.Info
+	sess *pipeline.Session
+}
+
+// PassStat records one pass execution: wall time, procedures visited,
+// and IR size before/after (flow-graph nodes for Abstract C-- passes,
+// machine instructions for codegen and link).
+type PassStat = pipeline.PassStat
+
+// Diagnostic is a structured compiler message: severity, source span
+// (file:line:col), and the pass that produced it.
+type Diagnostic = diag.Diagnostic
+
+// Diagnostics is an ordered list of compiler messages.
+type Diagnostics = diag.List
+
+// LoadConfig configures Load beyond the defaults.
+type LoadConfig struct {
+	// File names the source in diagnostics.
+	File string
+	// Workers bounds procedure-level parallelism in per-procedure
+	// passes; 0 means NumCPU, 1 forces serial. Output is byte-identical
+	// for every value.
+	Workers int
+	// DumpAfter lists pass names (see PassNames) whose IR should be
+	// snapshotted; retrieve with Module.DumpAfter.
+	DumpAfter []string
+	// DumpProc restricts snapshots to one procedure (empty: all).
+	DumpProc string
 }
 
 // Load parses, checks, and translates C-- source into Abstract C--.
 func Load(src string) (*Module, error) {
-	parsed, err := syntax.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	info, err := check.Check(parsed)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := cfg.Build(parsed, info)
-	if err != nil {
-		return nil, err
-	}
-	return &Module{prog: prog, info: info}, nil
+	return LoadWith(src, LoadConfig{})
 }
+
+// LoadWith is Load with configuration.
+func LoadWith(src string, lc LoadConfig) (*Module, error) {
+	pc := pipeline.Config{File: lc.File, Workers: lc.Workers, DumpAfter: lc.DumpAfter, DumpProc: lc.DumpProc}
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	sess := pipeline.New(src, pc)
+	if err := sess.Frontend(); err != nil {
+		return nil, err
+	}
+	return &Module{sess: sess}, nil
+}
+
+// LoadMiniM3 compiles MiniM3 source to C-- under the given policy and
+// loads the result, recording the front-end stages (m3-parse, m3-check,
+// m3-infer when pruning, m3-emit) in the module's pass stats.
+func LoadMiniM3(src string, policy ExceptionPolicy) (*Module, error) {
+	return LoadMiniM3With(src, policy, LoadConfig{})
+}
+
+// LoadMiniM3With is LoadMiniM3 with configuration.
+func LoadMiniM3With(src string, policy ExceptionPolicy, lc LoadConfig) (*Module, error) {
+	pc := pipeline.Config{File: lc.File, Workers: lc.Workers, DumpAfter: lc.DumpAfter, DumpProc: lc.DumpProc}
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	sess, err := minim3.NewSession(src, policy, minim3.CompileOptions{Prune: true}, pc)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Frontend(); err != nil {
+		return nil, err
+	}
+	return &Module{sess: sess}, nil
+}
+
+// PassNames lists the back-end pass names valid for LoadConfig.DumpAfter.
+func PassNames() []string { return pipeline.PassNames() }
+
+// PassStats reports wall time and IR-size deltas for every pass that has
+// run so far, in execution order.
+func (m *Module) PassStats() []PassStat { return m.sess.Stats() }
+
+// FormatPassStats renders a stats table (the cmmc -timings output).
+func FormatPassStats(stats []PassStat) string { return pipeline.FormatStats(stats) }
+
+// Diagnostics returns every structured message the passes produced,
+// notes included.
+func (m *Module) Diagnostics() Diagnostics { return m.sess.Diagnostics() }
+
+// DumpAfter returns the snapshot of proc captured after the named pass,
+// if LoadConfig.DumpAfter requested it.
+func (m *Module) DumpAfter(pass, proc string) (string, bool) { return m.sess.Snapshot(pass, proc) }
+
+// DumpAfterProcs lists the procedures snapshotted after the named pass.
+func (m *Module) DumpAfterProcs(pass string) []string { return m.sess.SnapshotProcs(pass) }
+
+// Source returns the C-- source backing the module (for MiniM3 loads,
+// the generated C--).
+func (m *Module) Source() string { return m.sess.Source() }
 
 // Procedures lists the module's procedures in source order (synthesized
 // slow-but-solid primitives last).
 func (m *Module) Procedures() []string {
-	return append([]string{}, m.prog.Order...)
+	return append([]string{}, m.sess.Program().Order...)
 }
 
 // OptStats reports what the optimizer did.
@@ -84,6 +162,8 @@ func (s OptStats) String() string {
 // copy propagation, dead-code elimination, branch resolution, local
 // CSE — over every procedure. Exceptional control flow needs no special
 // treatment: the also-annotations appear as ordinary flow edges.
+// Optimize is idempotent: it drives every procedure to a fixpoint, so a
+// second call finds nothing left to do and reports all-zero stats.
 func (m *Module) Optimize() OptStats {
 	return m.optimize(opt.Options{})
 }
@@ -97,21 +177,19 @@ func (m *Module) OptimizeUnsoundWithoutExceptionEdges() OptStats {
 }
 
 func (m *Module) optimize(o opt.Options) OptStats {
-	var total OptStats
-	for _, name := range m.prog.Order {
-		r := opt.Optimize(m.prog.Graphs[name], m.info, o)
-		total.ConstantsFolded += r.ConstantsFolded
-		total.CopiesPropagated += r.CopiesPropagated
-		total.AssignsRemoved += r.AssignsRemoved
-		total.BranchesResolved += r.BranchesResolved
-		total.CSEHits += r.CSEHits
+	r, _ := m.sess.OptimizeWith(o) // Frontend already ran in Load; no error possible
+	return OptStats{
+		ConstantsFolded:  r.ConstantsFolded,
+		CopiesPropagated: r.CopiesPropagated,
+		AssignsRemoved:   r.AssignsRemoved,
+		BranchesResolved: r.BranchesResolved,
+		CSEHits:          r.CSEHits,
 	}
-	return total
 }
 
 // DumpGraph renders a procedure's Abstract C-- flow graph (Table 2).
 func (m *Module) DumpGraph(proc string) (string, error) {
-	g := m.prog.Graph(proc)
+	g := m.sess.Program().Graph(proc)
 	if g == nil {
 		return "", fmt.Errorf("no procedure %s", proc)
 	}
@@ -121,7 +199,7 @@ func (m *Module) DumpGraph(proc string) (string, error) {
 // DumpSSA renders the Figure 6 presentation of a procedure: its SSA
 // numbering over the Table 3 dataflow.
 func (m *Module) DumpSSA(proc string) (string, error) {
-	g := m.prog.Graph(proc)
+	g := m.sess.Program().Graph(proc)
 	if g == nil {
 		return "", fmt.Errorf("no procedure %s", proc)
 	}
@@ -134,11 +212,14 @@ func (m *Module) DumpSSA(proc string) (string, error) {
 
 // DumpLiveness renders per-node live-variable sets.
 func (m *Module) DumpLiveness(proc string) (string, error) {
-	g := m.prog.Graph(proc)
+	g := m.sess.Program().Graph(proc)
 	if g == nil {
 		return "", fmt.Errorf("no procedure %s", proc)
 	}
-	lv := dataflow.ComputeLiveness(g)
+	lv, err := m.sess.Liveness(proc)
+	if err != nil {
+		return "", err
+	}
 	out := ""
 	for i, n := range g.Nodes() {
 		out += fmt.Sprintf("n%d %s: in=%v out=%v\n", i, n.Kind, setList(lv.In[n]), setList(lv.Out[n]))

@@ -1,0 +1,128 @@
+package cmm_test
+
+import (
+	"strings"
+	"testing"
+
+	"cmm"
+)
+
+// asDiagnostics extracts the structured list from a Load error.
+func asDiagnostics(t *testing.T, err error) cmm.Diagnostics {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a compile error")
+	}
+	switch e := err.(type) {
+	case cmm.Diagnostics:
+		return e
+	case *cmm.Diagnostic:
+		return cmm.Diagnostics{e}
+	}
+	t.Fatalf("error is %T, not structured diagnostics: %v", err, err)
+	return nil
+}
+
+// golden asserts the full structured rendering — span, severity, pass,
+// message — of the first diagnostic.
+func golden(t *testing.T, ds cmm.Diagnostics, want string) {
+	t.Helper()
+	if len(ds) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	if got := ds[0].String(); got != want {
+		t.Errorf("diagnostic mismatch\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestGoldenParseDiagnostic: a syntax error carries file:line:col and
+// pass "parse".
+func TestGoldenParseDiagnostic(t *testing.T) {
+	src := "f (bits32 x) {\n    x = ;\n}\n"
+	_, err := cmm.LoadWith(src, cmm.LoadConfig{File: "bad.cmm"})
+	ds := asDiagnostics(t, err)
+	golden(t, ds, `bad.cmm:2:9: error: [parse] expected expression, found ;`)
+}
+
+// TestGoldenContinuationScopeDiagnostic pins the §4.1 scope rule: an
+// also-annotation may only name a continuation declared in the same
+// procedure as the call site.
+func TestGoldenContinuationScopeDiagnostic(t *testing.T) {
+	src := `g () { return; }
+f (bits32 x) {
+    g() also cuts to k;
+    return;
+}
+`
+	_, err := cmm.LoadWith(src, cmm.LoadConfig{File: "scope.cmm"})
+	ds := asDiagnostics(t, err)
+	golden(t, ds, `scope.cmm:3:5: error: [check] annotation names k, which is not a continuation declared in this procedure`)
+}
+
+// TestGoldenArityDiagnostic pins the alternate-return arity rule: in
+// return <m/n>, the index may not exceed the count of "also returns to"
+// continuations.
+func TestGoldenArityDiagnostic(t *testing.T) {
+	src := "f (bits32 x) {\n    return <3/2> ();\n}\n"
+	_, err := cmm.LoadWith(src, cmm.LoadConfig{File: "arity.cmm"})
+	ds := asDiagnostics(t, err)
+	golden(t, ds, `arity.cmm:2:5: error: [parse] return <3/2>: index exceeds continuation count`)
+}
+
+// TestGoldenMiniM3Diagnostics: front-end errors carry the m3-* pass that
+// rejected the program, with line provenance.
+func TestGoldenMiniM3Diagnostics(t *testing.T) {
+	t.Run("parse", func(t *testing.T) {
+		_, err := cmm.LoadMiniM3With("proc f( {", cmm.StackCutting, cmm.LoadConfig{File: "bad.mm"})
+		ds := asDiagnostics(t, err)
+		if d := ds[0]; d.Pass != "m3-parse" || d.File != "bad.mm" || d.Line == 0 {
+			t.Errorf("want m3-parse diagnostic with position in bad.mm, got %s", d)
+		}
+	})
+	t.Run("check", func(t *testing.T) {
+		src := "proc f(x) {\n    return g(x);\n}\n"
+		_, err := cmm.LoadMiniM3With(src, cmm.StackCutting, cmm.LoadConfig{File: "undef.mm"})
+		ds := asDiagnostics(t, err)
+		golden(t, ds, `undef.mm:2:0: error: [m3-check] proc f: call to undefined procedure g`)
+	})
+	t.Run("infer-note", func(t *testing.T) {
+		src := "proc pure(x) {\n    return x + 1;\n}\n"
+		mod, err := cmm.LoadMiniM3With(src, cmm.StackCutting, cmm.LoadConfig{File: "pure.mm"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		notes := mod.Diagnostics().ByPass("m3-infer")
+		if len(notes) != 1 {
+			t.Fatalf("want one m3-infer note, got %v", mod.Diagnostics())
+		}
+		if got := notes[0].String(); got != `pure.mm:1:0: note: [m3-infer] procedure pure cannot raise; exceptional annotations pruned` {
+			t.Errorf("note mismatch: %s", got)
+		}
+	})
+}
+
+// TestDiagnosticsPassProvenance: every diagnostic a failing load
+// produces names the pass that created it, and the names are drawn from
+// the declared pass list (plus the m3-* front-end stages).
+func TestDiagnosticsPassProvenance(t *testing.T) {
+	known := map[string]bool{"m3-parse": true, "m3-check": true, "m3-infer": true, "m3-emit": true}
+	for _, name := range cmm.PassNames() {
+		known[name] = true
+	}
+	for _, src := range []string{
+		"f() {",
+		"f() { return (nope); }",
+		"f() { bits32 x; x = 1 +; return; }",
+	} {
+		_, err := cmm.Load(src)
+		ds := asDiagnostics(t, err)
+		for _, d := range ds {
+			if !known[d.Pass] {
+				t.Errorf("diagnostic %q has unknown pass %q", d, d.Pass)
+			}
+		}
+	}
+	if !strings.Contains(asDiagnostics(t, func() error { _, err := cmm.Load("f() {"); return err }()).String(), "[parse]") {
+		t.Error("parse failure not attributed to the parse pass")
+	}
+}

@@ -2,7 +2,6 @@ package cfg
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sort"
 
 	"cmm/internal/syntax"
@@ -22,6 +21,13 @@ type Image struct {
 
 // ImageBase is the default load address of static data.
 const ImageBase = 0x1000
+
+func imageFile(p *Program) string {
+	if p.Source != nil {
+		return p.Source.File
+	}
+	return ""
+}
 
 // BuildImage lays out the program's data sections and interned strings.
 // resolve supplies values for names appearing in data initializers that
@@ -85,7 +91,7 @@ func BuildImage(p *Program, resolve func(name string) (uint64, bool)) (*Image, e
 				return v, nil
 			}
 		}
-		return 0, &syntax.Error{Pos: pos, Msg: fmt.Sprintf("cannot resolve name %s in data initializer", name)}
+		return 0, syntax.ErrorAt(PassTranslate, imageFile(p), pos, "cannot resolve name %s in data initializer", name)
 	}
 	for _, pd := range todo {
 		it := pd.datum

@@ -10,6 +10,9 @@ import (
 	"cmm/internal/syntax"
 )
 
+// PassTranslate names the pass whose diagnostics this package produces.
+const PassTranslate = "translate"
+
 // Build translates a checked C-- program into Abstract C-- (§5.3).
 func Build(src *syntax.Program, info *check.Info) (*Program, error) {
 	p := &Program{
@@ -93,11 +96,11 @@ func evalConst(e syntax.Expr, info *check.Info) (uint64, error) {
 		}
 		v, ok := EvalWordOp(e.Op, x, y, w)
 		if !ok {
-			return 0, &syntax.Error{Pos: e.Position(), Msg: "constant expression divides by zero or uses an unsupported operator"}
+			return 0, syntax.ErrorAt(PassTranslate, info.Program.File, e.Position(), "constant expression divides by zero or uses an unsupported operator")
 		}
 		return v, nil
 	}
-	return 0, &syntax.Error{Pos: e.Position(), Msg: "expression is not a constant"}
+	return 0, syntax.ErrorAt(PassTranslate, info.Program.File, e.Position(), "expression is not a constant")
 }
 
 func truncate(v uint64, width int) uint64 {
@@ -246,7 +249,7 @@ type builder struct {
 }
 
 func (b *builder) errf(pos syntax.Pos, format string, args ...any) error {
-	return &syntax.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	return syntax.ErrorAt(PassTranslate, b.info.Program.File, pos, format, args...)
 }
 
 func (b *builder) buildProc(proc *syntax.Proc) (*Graph, error) {

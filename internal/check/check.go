@@ -8,9 +8,10 @@
 package check
 
 import (
-	"fmt"
 	"sort"
+	"sync"
 
+	"cmm/internal/diag"
 	"cmm/internal/syntax"
 )
 
@@ -72,23 +73,38 @@ type Info struct {
 	Procs     map[string]*ProcInfo
 	Uses      map[*syntax.VarExpr]*Symbol
 	ExprTypes map[syntax.Expr]syntax.Type
+
+	// typesMu guards ExprTypes when passes that rewrite expressions run
+	// per-procedure in parallel (each worker records types for the fresh
+	// expression nodes it creates). Serial construction in this package
+	// accesses the map directly.
+	typesMu sync.RWMutex
 }
 
-// TypeOf returns the checked type of e.
-func (in *Info) TypeOf(e syntax.Expr) syntax.Type { return in.ExprTypes[e] }
-
-// ErrorList is a list of positioned semantic errors.
-type ErrorList []*syntax.Error
-
-func (l ErrorList) Error() string {
-	switch len(l) {
-	case 0:
-		return "no errors"
-	case 1:
-		return l[0].Error()
-	}
-	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+// TypeOf returns the checked type of e. Safe for concurrent use with
+// SetType.
+func (in *Info) TypeOf(e syntax.Expr) syntax.Type {
+	in.typesMu.RLock()
+	t := in.ExprTypes[e]
+	in.typesMu.RUnlock()
+	return t
 }
+
+// SetType records the type of e. Safe for concurrent use from parallel
+// per-procedure passes: every worker writes only the fresh expression
+// nodes it allocated, so the table's contents are deterministic
+// regardless of worker count.
+func (in *Info) SetType(e syntax.Expr, t syntax.Type) {
+	in.typesMu.Lock()
+	in.ExprTypes[e] = t
+	in.typesMu.Unlock()
+}
+
+// ErrorList is a list of positioned semantic diagnostics (pass "check").
+type ErrorList = diag.List
+
+// PassCheck names the pass that semantic diagnostics carry.
+const PassCheck = "check"
 
 // Primitives lists the primitive operators (§4.3) known to this
 // implementation, mapping name to (argument count, mayFail). Fast variants
@@ -128,7 +144,7 @@ type checker struct {
 }
 
 func (c *checker) errf(pos syntax.Pos, format string, args ...any) {
-	c.errs = append(c.errs, &syntax.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	c.errs = append(c.errs, syntax.ErrorAt(PassCheck, c.info.Program.File, pos, format, args...))
 }
 
 // Check analyses prog and returns the collected semantic information. The

@@ -39,6 +39,10 @@ type Options struct {
 	// frame, approximating "implementations that use no callee-saves
 	// registers" (§2, stack cutting discussion).
 	DisableCalleeSaves bool
+	// LivenessFor supplies a precomputed liveness analysis for the named
+	// procedure (the pipeline's cached analysis). When nil, or when it
+	// returns nil, codegen computes liveness itself.
+	LivenessFor func(name string) *dataflow.Liveness
 }
 
 // SavedReg records where a prologue saved a callee-saves register.
@@ -112,61 +116,183 @@ func (p *Program) CodeSize(proc string) int {
 
 const wordSlot = 8 // every frame slot is 8 bytes in the simulated machine
 
-// Compile translates a program to machine code.
+// Compile translates a program to machine code. It is the serial
+// composition of the relocatable phases: NewLayout, EmitProc for every
+// procedure in declaration order, then Link. Parallel drivers (the
+// pipeline) call the phases directly; both paths run the same code, so
+// their output is byte-identical by construction.
 func Compile(src *cfg.Program, opts Options) (*Program, error) {
-	cp := &Program{
-		Procs:      map[string]*ProcInfo{},
-		CallSites:  map[int]*CallSite{},
-		GlobalAddr: map[string]uint64{},
-		GlobalInit: map[string]uint64{},
-		Source:     src,
-		Opts:       opts,
+	lay, err := NewLayout(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([]*ProcChunk, len(src.Order))
+	for i, name := range src.Order {
+		if chunks[i], err = lay.EmitProc(name); err != nil {
+			return nil, err
+		}
+	}
+	return lay.Link(chunks)
+}
+
+// Layout holds the pre-codegen facts every procedure compiles against:
+// data-label and string addresses, global-register addresses, and
+// foreign-import indices. All of it is fixed before any code is emitted
+// and read-only afterwards, so EmitProc calls for different procedures
+// may run concurrently on one Layout.
+type Layout struct {
+	src        *cfg.Program
+	opts       Options
+	fidx       map[string]int
+	foreigns   []string
+	labels     map[string]uint64
+	strings    map[string]uint64
+	globalAddr map[string]uint64
+	globalInit map[string]uint64
+	heapStart  uint64
+}
+
+// NewLayout computes the data layout of src: the image addresses, the
+// global-register block past it, and foreign indices.
+func NewLayout(src *cfg.Program, opts Options) (*Layout, error) {
+	lay := &Layout{
+		src:        src,
+		opts:       opts,
+		fidx:       map[string]int{},
+		globalAddr: map[string]uint64{},
+		globalInit: map[string]uint64{},
 	}
 	// Foreign indices for imports that have no definition.
-	fidx := map[string]int{}
 	for _, im := range src.Imports {
 		if _, defined := src.Graphs[im]; defined {
 			continue
 		}
-		if _, dup := fidx[im]; dup {
+		if _, dup := lay.fidx[im]; dup {
 			continue
 		}
-		fidx[im] = len(cp.Foreigns)
-		cp.Foreigns = append(cp.Foreigns, im)
+		lay.fidx[im] = len(lay.foreigns)
+		lay.foreigns = append(lay.foreigns, im)
 	}
-
 	// Data layout first: label and string addresses are independent of
 	// the values stored, so a dummy resolver gives the final addresses.
 	// The real image (whose initializers may hold code addresses) is
-	// rebuilt after compilation.
-	layout, err := cfg.BuildImage(src, func(string) (uint64, bool) { return 0, true })
+	// rebuilt by Link.
+	img, err := cfg.BuildImage(src, func(string) (uint64, bool) { return 0, true })
 	if err != nil {
 		return nil, err
 	}
+	lay.labels, lay.strings = img.Labels, img.Strings
 	// Globals live in memory just past the data image; their addresses
 	// are needed while compiling.
-	addr := align8(layout.End())
+	addr := align8(img.End())
 	for _, gv := range src.Globals {
-		cp.GlobalAddr[gv.Name] = addr
-		cp.GlobalInit[gv.Name] = gv.Init
+		lay.globalAddr[gv.Name] = addr
+		lay.globalInit[gv.Name] = gv.Init
 		addr += wordSlot
 	}
-	cp.HeapStart = align8(addr)
-	g := &generator{prog: cp, src: src, opts: opts, fidx: fidx,
-		labels: layout.Labels, strings: layout.Strings}
-	for _, name := range src.Order {
-		if err := g.compileProc(name); err != nil {
-			return nil, err
+	lay.heapStart = align8(addr)
+	return lay, nil
+}
+
+// ProcChunk is the relocatable compilation of one procedure: its code
+// with every pc relative to the chunk's own start, the instruction
+// indices whose operands must be shifted when the chunk is placed, and
+// the name-based references only the linker can resolve.
+type ProcChunk struct {
+	Name  string
+	Code  []machine.Instr
+	Info  *ProcInfo   // Entry 0; End, ContEntries chunk-relative
+	Sites []*CallSite // RetPC and continuation pcs chunk-relative
+
+	pcRel  []int   // indices whose Target is a chunk-relative pc
+	liRel  []int   // indices whose Imm is CodeAddr(chunk-relative pc)
+	fixups []fixup // fixProc/fixLIProc/fixGlobalLoad/fixGlobalStore, at chunk-relative
+}
+
+// EmitProc allocates registers and emits relocatable code for one
+// procedure. It only reads the Layout, so distinct procedures may be
+// emitted concurrently.
+func (lay *Layout) EmitProc(name string) (*ProcChunk, error) {
+	gen := &generator{lay: lay, src: lay.src, opts: lay.opts, fidx: lay.fidx,
+		labels: lay.labels, strings: lay.strings}
+	return gen.compileProc(name)
+}
+
+// Link places chunks in order, shifts their relative pcs, resolves
+// name-based references, and rebuilds the data image with final code
+// addresses. The chunk order determines the code layout; Compile and the
+// pipeline both pass src.Order.
+func (lay *Layout) Link(chunks []*ProcChunk) (*Program, error) {
+	cp := &Program{
+		Procs:      map[string]*ProcInfo{},
+		CallSites:  map[int]*CallSite{},
+		GlobalAddr: lay.globalAddr,
+		GlobalInit: lay.globalInit,
+		Foreigns:   lay.foreigns,
+		HeapStart:  lay.heapStart,
+		Source:     lay.src,
+		Opts:       lay.opts,
+	}
+	var nameFixups []fixup
+	for _, ch := range chunks {
+		base := len(cp.Code)
+		cp.Code = append(cp.Code, ch.Code...)
+		for _, at := range ch.pcRel {
+			cp.Code[base+at].Target += base
+		}
+		for _, at := range ch.liRel {
+			// CodeAddr is base-plus-index, so shifting the index shifts
+			// the address by the same amount.
+			cp.Code[base+at].Imm += int64(base)
+		}
+		for _, fx := range ch.fixups {
+			fx.at += base
+			nameFixups = append(nameFixups, fx)
+		}
+		pi := ch.Info
+		pi.Entry += base
+		pi.End += base
+		for cont, pc := range pi.ContEntries {
+			pi.ContEntries[cont] = pc + base
+		}
+		cp.Procs[ch.Name] = pi
+		cp.ProcByPC = append(cp.ProcByPC, pi)
+		for _, site := range ch.Sites {
+			site.RetPC += base
+			for i := range site.ReturnPCs {
+				site.ReturnPCs[i] += base
+			}
+			for i := range site.UnwindPCs {
+				site.UnwindPCs[i] += base
+			}
+			for i := range site.CutPCs {
+				site.CutPCs[i] += base
+			}
+			cp.CallSites[site.RetPC] = site
 		}
 	}
-	g.resolveFixups()
-	cp.Code = g.code
+	for _, fx := range nameFixups {
+		switch fx.kind {
+		case fixProc:
+			if pi, ok := cp.Procs[fx.name]; ok {
+				cp.Code[fx.at].Target = pi.Entry
+			}
+		case fixLIProc:
+			if pi, ok := cp.Procs[fx.name]; ok {
+				cp.Code[fx.at].Imm = int64(machine.CodeAddr(pi.Entry))
+			} else if i, ok := lay.fidx[fx.name]; ok {
+				cp.Code[fx.at].Imm = int64(machine.ForeignAddr(i))
+			}
+		case fixGlobalLoad, fixGlobalStore:
+			cp.Code[fx.at].Imm = int64(lay.globalAddr[fx.name])
+		}
+	}
 
-	img, err := cfg.BuildImage(src, func(name string) (uint64, bool) {
+	img, err := cfg.BuildImage(lay.src, func(name string) (uint64, bool) {
 		if pi, ok := cp.Procs[name]; ok {
 			return machine.CodeAddr(pi.Entry), true
 		}
-		if i, ok := fidx[name]; ok {
+		if i, ok := lay.fidx[name]; ok {
 			return machine.ForeignAddr(i), true
 		}
 		return 0, false
@@ -203,12 +329,14 @@ type fixup struct {
 }
 
 type generator struct {
-	prog         *Program
+	lay          *Layout
 	src          *cfg.Program
 	opts         Options
 	fidx         map[string]int
 	code         []machine.Instr
-	fixupsGlobal []fixup
+	fixupsGlobal []fixup           // name-based references, resolved by Link
+	pcRel        []int             // instruction indices with chunk-relative Targets
+	liRel        []int             // instruction indices with chunk-relative CodeAddr Imms
 	labels       map[string]uint64 // data label/string layout, known pre-codegen
 	strings      map[string]uint64
 
@@ -262,35 +390,40 @@ func (gen *generator) typeOf(e syntax.Expr) syntax.Type {
 	return t
 }
 
-// compileProc allocates registers and emits code for one procedure.
-func (gen *generator) compileProc(name string) error {
+// compileProc allocates registers and emits relocatable code for one
+// procedure; every pc in the result is relative to the chunk start.
+func (gen *generator) compileProc(name string) (*ProcChunk, error) {
 	g := gen.src.Graphs[name]
 	pi := &ProcInfo{
 		Name:        name,
-		Entry:       len(gen.code),
+		Entry:       0,
 		ContEntries: map[string]int{},
 		ContBlocks:  map[string]int64{},
 	}
-	gen.prog.Procs[name] = pi
-	gen.prog.ProcByPC = append(gen.prog.ProcByPC, pi)
 	gen.f = &funcState{
 		g:      g,
 		pi:     pi,
 		homes:  map[string]home{},
 		placed: map[*cfg.Node]int{},
 	}
-	gen.f.liveness = dataflow.ComputeLiveness(g)
+	if gen.opts.LivenessFor != nil {
+		gen.f.liveness = gen.opts.LivenessFor(name)
+	}
+	if gen.f.liveness == nil {
+		gen.f.liveness = dataflow.ComputeLiveness(g)
+	}
 
 	if err := gen.allocate(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := gen.emitBody(); err != nil {
-		return err
+		return nil, err
 	}
 	pi.End = len(gen.code)
 
 	// Resolve intra-procedural call-site continuation pcs now that the
 	// body is placed.
+	var sites []*CallSite
 	for _, sf := range gen.f.sites {
 		for _, n := range sf.returns {
 			sf.site.ReturnPCs = append(sf.site.ReturnPCs, gen.f.placed[n])
@@ -302,40 +435,33 @@ func (gen *generator) compileProc(name string) error {
 		for _, n := range sf.cuts {
 			sf.site.CutPCs = append(sf.site.CutPCs, gen.f.placed[n])
 		}
+		sites = append(sites, sf.site)
 	}
-	for name, n := range g.ContMap {
-		pi.ContEntries[name] = gen.f.placed[n]
+	for cont, n := range g.ContMap {
+		pi.ContEntries[cont] = gen.f.placed[n]
 	}
-	// Local jump fixups.
+	// Local jump fixups: resolved to chunk-relative pcs here, shifted to
+	// absolute ones when Link places the chunk.
 	for _, fx := range gen.f.fixups {
 		switch fx.kind {
 		case fixNode:
 			gen.code[fx.at].Target = gen.f.placed[fx.node]
+			gen.pcRel = append(gen.pcRel, fx.at)
 		case fixLINode:
 			gen.code[fx.at].Imm = int64(machine.CodeAddr(gen.f.placed[fx.node]))
+			gen.liRel = append(gen.liRel, fx.at)
 		default:
-			// procedure-level fixups resolved globally later
+			// name-based fixups resolved by Link
 			gen.fixupsGlobal = append(gen.fixupsGlobal, fx)
 		}
 	}
-	return nil
-}
-
-func (gen *generator) resolveFixups() {
-	for _, fx := range gen.fixupsGlobal {
-		switch fx.kind {
-		case fixProc:
-			if pi, ok := gen.prog.Procs[fx.name]; ok {
-				gen.code[fx.at].Target = pi.Entry
-			}
-		case fixLIProc:
-			if pi, ok := gen.prog.Procs[fx.name]; ok {
-				gen.code[fx.at].Imm = int64(machine.CodeAddr(pi.Entry))
-			} else if i, ok := gen.fidx[fx.name]; ok {
-				gen.code[fx.at].Imm = int64(machine.ForeignAddr(i))
-			}
-		case fixGlobalLoad, fixGlobalStore:
-			gen.code[fx.at].Imm = int64(gen.prog.GlobalAddr[fx.name])
-		}
-	}
+	return &ProcChunk{
+		Name:   name,
+		Code:   gen.code,
+		Info:   pi,
+		Sites:  sites,
+		pcRel:  gen.pcRel,
+		liRel:  gen.liRel,
+		fixups: gen.fixupsGlobal,
+	}, nil
 }

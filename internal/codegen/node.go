@@ -32,7 +32,8 @@ func (gen *generator) emitBody() error {
 func (gen *generator) jumpTo(n *cfg.Node) {
 	f := gen.f
 	if pc, done := f.placed[n]; done {
-		gen.emit(machine.Instr{Op: machine.OpJmp, Target: pc})
+		at := gen.emit(machine.Instr{Op: machine.OpJmp, Target: pc})
+		gen.pcRel = append(gen.pcRel, at)
 		return
 	}
 	at := gen.emit(machine.Instr{Op: machine.OpJmp})
@@ -45,7 +46,8 @@ func (gen *generator) emitChain(n *cfg.Node) error {
 	f := gen.f
 	for n != nil {
 		if pc, done := f.placed[n]; done {
-			gen.emit(machine.Instr{Op: machine.OpJmp, Target: pc})
+			at := gen.emit(machine.Instr{Op: machine.OpJmp, Target: pc})
+			gen.pcRel = append(gen.pcRel, at)
 			return nil
 		}
 		f.placed[n] = len(gen.code)
@@ -123,6 +125,7 @@ func (gen *generator) emitNode(n *cfg.Node) (*cfg.Node, error) {
 		at := gen.emit(machine.Instr{Op: machine.OpBNZ, Rs: machine.RX0})
 		if pc, done := f.placed[n.Succ[0]]; done {
 			gen.code[at].Target = pc
+			gen.pcRel = append(gen.pcRel, at)
 		} else {
 			f.fixups = append(f.fixups, fixup{at: at, kind: fixNode, node: n.Succ[0]})
 			f.pending = append(f.pending, n.Succ[0])
@@ -285,7 +288,6 @@ func (gen *generator) emitCall(n *cfg.Node) (*cfg.Node, error) {
 		Descriptors: descs,
 		IsYield:     n.IsYield,
 	}
-	gen.prog.CallSites[retPC] = site
 	sf := &siteFix{site: site}
 	sf.returns = append(sf.returns, b.Returns...)
 	sf.unwinds = append(sf.unwinds, b.Unwinds...)
@@ -347,7 +349,7 @@ func (gen *generator) staticValue(e syntax.Expr) (uint64, error) {
 		if a, ok := gen.labels[e.Name]; ok {
 			return a, nil
 		}
-		if a, ok := gen.prog.GlobalAddr[e.Name]; ok {
+		if a, ok := gen.lay.globalAddr[e.Name]; ok {
 			return a, nil
 		}
 	}

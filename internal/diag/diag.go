@@ -1,0 +1,171 @@
+// Package diag defines the structured diagnostics every compiler stage
+// reports through. A Diagnostic carries a severity, a file:line:col
+// span, and the name of the pass that produced it, so tools (and tests)
+// can attribute every message to a pipeline stage instead of parsing
+// bare strings.
+//
+// The package sits below syntax on the import graph on purpose: the
+// lexer, parser, checker, translator, and the MiniM3 front end all
+// construct Diagnostics directly.
+package diag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, in increasing order of seriousness.
+const (
+	SevNote Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevNote:
+		return "note"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Diagnostic is one structured compiler message. Line and Col are
+// 1-based; zero means "no position". File may be empty when the source
+// came from a string rather than a file.
+type Diagnostic struct {
+	Severity Severity
+	Pass     string // pipeline pass that produced it, e.g. "parse", "check"
+	File     string
+	Line     int
+	Col      int
+	Msg      string
+}
+
+// New constructs a diagnostic.
+func New(sev Severity, pass, file string, line, col int, format string, args ...any) *Diagnostic {
+	return &Diagnostic{
+		Severity: sev,
+		Pass:     pass,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// Errorf constructs an error-severity diagnostic.
+func Errorf(pass, file string, line, col int, format string, args ...any) *Diagnostic {
+	return New(SevError, pass, file, line, col, format, args...)
+}
+
+// Span renders the file:line:col prefix; it omits the file when empty
+// and the whole span when there is no position.
+func (d *Diagnostic) Span() string {
+	if d.Line == 0 {
+		return d.File
+	}
+	if d.File == "" {
+		return fmt.Sprintf("%d:%d", d.Line, d.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+}
+
+// Error renders the diagnostic as span: msg, matching the historical
+// string-error format so existing callers keep working, with the pass
+// recorded in the structured fields.
+func (d *Diagnostic) Error() string {
+	if span := d.Span(); span != "" {
+		return fmt.Sprintf("%s: %s", span, d.Msg)
+	}
+	return d.Msg
+}
+
+// String renders the full structured form: severity, span, pass, and
+// message (the -dump / golden-test presentation).
+func (d *Diagnostic) String() string {
+	span := d.Span()
+	if span == "" {
+		span = "-"
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s", span, d.Severity, d.Pass, d.Msg)
+}
+
+// List is an ordered collection of diagnostics that itself implements
+// error. A nil or empty list is "no diagnostics".
+type List []*Diagnostic
+
+// Error summarizes the list in the historical ErrorList format.
+func (l List) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the error-severity diagnostics.
+func (l List) Errors() List {
+	var out List
+	for _, d := range l {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByPass returns the diagnostics a given pass produced.
+func (l List) ByPass(pass string) List {
+	var out List
+	for _, d := range l {
+		if d.Pass == pass {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders every diagnostic on its own line in structured form.
+func (l List) String() string {
+	var sb strings.Builder
+	for _, d := range l {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// AsList extracts the diagnostics from an error: a *Diagnostic becomes a
+// one-element list, a List is returned as-is, anything else (including
+// nil) yields a synthesized position-less error diagnostic, or nil for a
+// nil error. The pass argument labels synthesized diagnostics.
+func AsList(err error, pass string) List {
+	switch e := err.(type) {
+	case nil:
+		return nil
+	case *Diagnostic:
+		return List{e}
+	case List:
+		return e
+	}
+	return List{Errorf(pass, "", 0, 0, "%s", err.Error())}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cmm/internal/diag"
 )
 
 // DivZeroTag is the tag of the built-in DivZero exception, raised by
@@ -26,13 +28,13 @@ func Check(prog *Program) (*CheckedProgram, error) {
 	globals := map[string]bool{}
 	for _, v := range prog.Vars {
 		if globals[v.Name] {
-			return nil, fmt.Errorf("global %s redeclared", v.Name)
+			return nil, cp.errf(v.Line, "global %s redeclared", v.Name)
 		}
 		globals[v.Name] = true
 	}
 	for i, e := range prog.Exceptions {
 		if _, dup := cp.Tags[e.Name]; dup {
-			return nil, fmt.Errorf("exception %s redeclared", e.Name)
+			return nil, cp.errf(e.Line, "exception %s redeclared", e.Name)
 		}
 		e.Tag = uint64(firstUserTag + i)
 		cp.Tags[e.Name] = e.Tag
@@ -40,10 +42,10 @@ func Check(prog *Program) (*CheckedProgram, error) {
 	procs := map[string]*ProcDecl{}
 	for _, p := range prog.Procs {
 		if procs[p.Name] != nil {
-			return nil, fmt.Errorf("procedure %s redeclared", p.Name)
+			return nil, cp.errf(p.Line, "procedure %s redeclared", p.Name)
 		}
 		if globals[p.Name] {
-			return nil, fmt.Errorf("%s is both a global and a procedure", p.Name)
+			return nil, cp.errf(p.Line, "%s is both a global and a procedure", p.Name)
 		}
 		procs[p.Name] = p
 	}
@@ -53,6 +55,11 @@ func Check(prog *Program) (*CheckedProgram, error) {
 		}
 	}
 	return cp, nil
+}
+
+// errf builds a checker diagnostic anchored at line (pass "m3-check").
+func (cp *CheckedProgram) errf(line int, format string, args ...any) error {
+	return diag.Errorf(PassM3Check, cp.Prog.File, line, 0, format, args...)
 }
 
 func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs map[string]*ProcDecl) error {
@@ -73,15 +80,15 @@ func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs 
 		case *IntExpr:
 		case *NameExpr:
 			if !locals[e.Name] && !globals[e.Name] {
-				return fmt.Errorf("proc %s: undefined name %s", p.Name, e.Name)
+				return cp.errf(e.Line, "proc %s: undefined name %s", p.Name, e.Name)
 			}
 		case *CallExpr:
 			callee, ok := procs[e.Proc]
 			if !ok {
-				return fmt.Errorf("proc %s: call to undefined procedure %s", p.Name, e.Proc)
+				return cp.errf(e.Line, "proc %s: call to undefined procedure %s", p.Name, e.Proc)
 			}
 			if len(e.Args) != len(callee.Params) {
-				return fmt.Errorf("proc %s: %s expects %d arguments, got %d",
+				return cp.errf(e.Line, "proc %s: %s expects %d arguments, got %d",
 					p.Name, e.Proc, len(callee.Params), len(e.Args))
 			}
 			for _, a := range e.Args {
@@ -108,7 +115,7 @@ func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs 
 					return err
 				}
 			case *CallStmt:
-				if err := checkExpr(&CallExpr{Proc: s.Proc, Args: s.Args}); err != nil {
+				if err := checkExpr(&CallExpr{Proc: s.Proc, Args: s.Args, Line: s.Line}); err != nil {
 					return err
 				}
 			case *IfStmt:
@@ -136,7 +143,7 @@ func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs 
 				}
 			case *RaiseStmt:
 				if _, ok := cp.Tags[s.Exn]; !ok {
-					return fmt.Errorf("proc %s: raise of undeclared exception %s", p.Name, s.Exn)
+					return cp.errf(s.Line, "proc %s: raise of undeclared exception %s", p.Name, s.Exn)
 				}
 				if s.Arg != nil {
 					if err := checkExpr(s.Arg); err != nil {
@@ -149,7 +156,7 @@ func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs 
 					// would bypass or duplicate the cleanup; reject them
 					// (a documented MiniM3 restriction).
 					if containsReturn(s.Body) || containsReturn(s.Finally) {
-						return fmt.Errorf("proc %s: return inside try/finally is not supported", p.Name)
+						return cp.errf(s.Line, "proc %s: return inside try/finally is not supported", p.Name)
 					}
 					if err := checkStmts(s.Body); err != nil {
 						return err
@@ -162,10 +169,10 @@ func (cp *CheckedProgram) checkProc(p *ProcDecl, globals map[string]bool, procs 
 				seen := map[string]bool{}
 				for _, cl := range s.Clauses {
 					if _, ok := cp.Tags[cl.Exn]; !ok {
-						return fmt.Errorf("proc %s: except clause for undeclared exception %s", p.Name, cl.Exn)
+						return cp.errf(cl.Line, "proc %s: except clause for undeclared exception %s", p.Name, cl.Exn)
 					}
 					if seen[cl.Exn] {
-						return fmt.Errorf("proc %s: duplicate except clause for %s", p.Name, cl.Exn)
+						return cp.errf(cl.Line, "proc %s: duplicate except clause for %s", p.Name, cl.Exn)
 					}
 					seen[cl.Exn] = true
 					if cl.Param != "" {
@@ -242,7 +249,7 @@ func CompileWith(src string, policy Policy, opts CompileOptions) (string, error)
 	}
 	e := &emitter{cp: cp, policy: policy, opts: opts}
 	if opts.Prune {
-		e.mayRaise = MayRaise(prog)
+		e.mayRaise, _ = Infer(prog)
 	} else {
 		e.mayRaise = map[string]bool{}
 		for _, pr := range prog.Procs {

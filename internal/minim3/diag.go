@@ -1,0 +1,28 @@
+package minim3
+
+import "cmm/internal/diag"
+
+// Pass names stamped into MiniM3 front-end diagnostics, so a consumer
+// can tell which stage of the pipeline produced each one.
+const (
+	PassM3Parse = "m3-parse"
+	PassM3Check = "m3-check"
+	PassM3Infer = "m3-infer"
+	PassM3Emit  = "m3-emit"
+)
+
+// Infer runs MayRaise and additionally reports, as note-severity
+// diagnostics (pass "m3-infer"), every procedure proved unable to raise:
+// those are the procedures whose call sites the emitter strips of
+// exceptional annotations when CompileOptions.Prune is set.
+func Infer(prog *Program) (map[string]bool, diag.List) {
+	may := MayRaise(prog)
+	var notes diag.List
+	for _, p := range prog.Procs {
+		if !may[p.Name] {
+			notes = append(notes, diag.New(diag.SevNote, PassM3Infer, prog.File, p.Line, 0,
+				"procedure %s cannot raise; exceptional annotations pruned", p.Name))
+		}
+	}
+	return may, notes
+}

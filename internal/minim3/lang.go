@@ -33,6 +33,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"cmm/internal/diag"
 )
 
 // Policy selects the exception-implementation strategy.
@@ -61,6 +63,7 @@ func (p Policy) String() string {
 
 // Program is a parsed MiniM3 compilation unit.
 type Program struct {
+	File       string // source file name, stamped into diagnostics
 	Vars       []*VarDecl
 	Exceptions []*ExnDecl
 	Procs      []*ProcDecl
@@ -70,6 +73,7 @@ type Program struct {
 type VarDecl struct {
 	Name string
 	Init int64
+	Line int
 }
 
 // ExnDecl declares an exception; every exception may carry one integer
@@ -77,6 +81,7 @@ type VarDecl struct {
 type ExnDecl struct {
 	Name string
 	Tag  uint64 // assigned by the checker
+	Line int
 }
 
 // ProcDecl is a procedure; all parameters and the result are integers.
@@ -85,6 +90,7 @@ type ProcDecl struct {
 	Params []string
 	Locals []string // collected by the checker
 	Body   []Stmt
+	Line   int
 }
 
 // Stmt is a MiniM3 statement.
@@ -94,12 +100,14 @@ type Stmt interface{ stmt() }
 type AssignStmt struct {
 	Name string
 	X    Expr
+	Line int
 }
 
 // CallStmt calls a procedure for effect.
 type CallStmt struct {
 	Proc string
 	Args []Expr
+	Line int
 }
 
 // IfStmt is a conditional.
@@ -122,8 +130,9 @@ type ReturnStmt struct {
 
 // RaiseStmt raises an exception with an optional argument.
 type RaiseStmt struct {
-	Exn string
-	Arg Expr // nil for none
+	Exn  string
+	Arg  Expr // nil for none
+	Line int
 }
 
 // TryStmt is TRY body EXCEPT clauses END, or TRY body FINALLY cleanup
@@ -134,6 +143,7 @@ type TryStmt struct {
 	Body    []Stmt
 	Clauses []*ExceptClause
 	Finally []Stmt
+	Line    int
 }
 
 // ExceptClause handles one exception; Param binds its argument when
@@ -142,6 +152,7 @@ type ExceptClause struct {
 	Exn   string
 	Param string
 	Body  []Stmt
+	Line  int
 }
 
 func (*AssignStmt) stmt() {}
@@ -159,12 +170,16 @@ type Expr interface{ expr() }
 type IntExpr struct{ Val int64 }
 
 // NameExpr references a variable or parameter.
-type NameExpr struct{ Name string }
+type NameExpr struct {
+	Name string
+	Line int
+}
 
 // CallExpr calls a procedure for its result.
 type CallExpr struct {
 	Proc string
 	Args []Expr
+	Line int
 }
 
 // BinOpExpr applies a binary operator: + - * / % == != < <= > >= && ||.
@@ -189,12 +204,21 @@ type token struct {
 	text string
 	val  int64
 	line int
+	col  int
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	file      string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
+}
+
+func (l *lexer) col() int { return l.pos - l.lineStart + 1 }
+
+func (l *lexer) errf(col int, format string, args ...any) error {
+	return diag.Errorf(PassM3Parse, l.file, l.line, col, format, args...)
 }
 
 func (l *lexer) next() (token, error) {
@@ -204,6 +228,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
@@ -214,35 +239,36 @@ func (l *lexer) next() (token, error) {
 			goto scan
 		}
 	}
-	return token{kind: "eof", line: l.line}, nil
+	return token{kind: "eof", line: l.line, col: l.col()}, nil
 scan:
 	c := rune(l.src[l.pos])
 	start := l.pos
+	col := l.col()
 	switch {
 	case unicode.IsLetter(c) || c == '_':
 		for l.pos < len(l.src) && (isWordByte(l.src[l.pos])) {
 			l.pos++
 		}
-		return token{kind: "ident", text: l.src[start:l.pos], line: l.line}, nil
+		return token{kind: "ident", text: l.src[start:l.pos], line: l.line, col: col}, nil
 	case unicode.IsDigit(c):
 		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
 			l.pos++
 		}
 		v, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
 		if err != nil {
-			return token{}, fmt.Errorf("line %d: bad integer %q", l.line, l.src[start:l.pos])
+			return token{}, l.errf(col, "bad integer %q", l.src[start:l.pos])
 		}
-		return token{kind: "int", val: v, line: l.line}, nil
+		return token{kind: "int", val: v, line: l.line, col: col}, nil
 	}
 	// Punctuation, longest first.
 	for _, p := range []string{"==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%",
 		"<", ">", "=", "(", ")", "{", "}", ",", ";"} {
 		if strings.HasPrefix(l.src[l.pos:], p) {
 			l.pos += len(p)
-			return token{kind: "punct", text: p, line: l.line}, nil
+			return token{kind: "punct", text: p, line: l.line, col: col}, nil
 		}
 	}
-	return token{}, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+	return token{}, l.errf(col, "unexpected character %q", c)
 }
 
 func isWordByte(b byte) bool {
@@ -250,14 +276,19 @@ func isWordByte(b byte) bool {
 }
 
 type parser struct {
-	lex *lexer
-	tok token
-	nxt token
+	lex  *lexer
+	file string
+	tok  token
+	nxt  token
 }
 
 // Parse parses MiniM3 source.
-func Parse(src string) (*Program, error) {
-	p := &parser{lex: &lexer{src: src, line: 1}}
+func Parse(src string) (*Program, error) { return ParseFile("", src) }
+
+// ParseFile parses MiniM3 source, stamping file into every diagnostic
+// and into the resulting Program.
+func ParseFile(file, src string) (*Program, error) {
+	p := &parser{lex: &lexer{src: src, file: file, line: 1}, file: file}
 	var err error
 	if p.tok, err = p.lex.next(); err != nil {
 		return nil, err
@@ -265,7 +296,12 @@ func Parse(src string) (*Program, error) {
 	if p.nxt, err = p.lex.next(); err != nil {
 		return nil, err
 	}
-	return p.parseProgram()
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	prog.File = file
+	return prog, nil
 }
 
 func (p *parser) advance() error {
@@ -276,7 +312,7 @@ func (p *parser) advance() error {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+	return diag.Errorf(PassM3Parse, p.file, p.tok.line, p.tok.col, format, args...)
 }
 
 func (p *parser) expectPunct(s string) error {
@@ -301,6 +337,7 @@ func (p *parser) isKeyword(kw string) bool {
 func (p *parser) parseProgram() (*Program, error) {
 	prog := &Program{}
 	for p.tok.kind != "eof" {
+		line := p.tok.line
 		switch {
 		case p.isKeyword("var"):
 			if err := p.advance(); err != nil {
@@ -310,7 +347,7 @@ func (p *parser) parseProgram() (*Program, error) {
 			if err != nil {
 				return nil, err
 			}
-			vd := &VarDecl{Name: name}
+			vd := &VarDecl{Name: name, Line: line}
 			if p.tok.kind == "punct" && p.tok.text == "=" {
 				if err := p.advance(); err != nil {
 					return nil, err
@@ -348,7 +385,7 @@ func (p *parser) parseProgram() (*Program, error) {
 			if err := p.expectPunct(";"); err != nil {
 				return nil, err
 			}
-			prog.Exceptions = append(prog.Exceptions, &ExnDecl{Name: name})
+			prog.Exceptions = append(prog.Exceptions, &ExnDecl{Name: name, Line: line})
 		case p.isKeyword("proc"):
 			proc, err := p.parseProc()
 			if err != nil {
@@ -363,6 +400,7 @@ func (p *parser) parseProgram() (*Program, error) {
 }
 
 func (p *parser) parseProc() (*ProcDecl, error) {
+	line := p.tok.line
 	if err := p.advance(); err != nil { // proc
 		return nil, err
 	}
@@ -373,7 +411,7 @@ func (p *parser) parseProc() (*ProcDecl, error) {
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
 	}
-	proc := &ProcDecl{Name: name}
+	proc := &ProcDecl{Name: name, Line: line}
 	for !(p.tok.kind == "punct" && p.tok.text == ")") {
 		param, err := p.expectIdent()
 		if err != nil {
@@ -416,6 +454,7 @@ func (p *parser) parseBlock() ([]Stmt, error) {
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
+	line := p.tok.line
 	switch {
 	case p.isKeyword("var"):
 		// Local declaration sugar: "var x = e;" becomes an assignment;
@@ -440,7 +479,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err := p.expectPunct(";"); err != nil {
 			return nil, err
 		}
-		return &AssignStmt{Name: name, X: x}, nil
+		return &AssignStmt{Name: name, X: x, Line: line}, nil
 	case p.isKeyword("if"):
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -506,7 +545,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := &RaiseStmt{Exn: name}
+		s := &RaiseStmt{Exn: name, Line: line}
 		if p.tok.kind == "punct" && p.tok.text == "(" {
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -528,7 +567,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := &TryStmt{Body: body}
+		s := &TryStmt{Body: body, Line: line}
 		if p.isKeyword("finally") {
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -541,6 +580,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return s, nil
 		}
 		for p.isKeyword("except") {
+			clLine := p.tok.line
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
@@ -548,7 +588,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			cl := &ExceptClause{Exn: exn}
+			cl := &ExceptClause{Exn: exn, Line: clLine}
 			if p.tok.kind == "punct" && p.tok.text == "(" {
 				if err := p.advance(); err != nil {
 					return nil, err
@@ -581,7 +621,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &CallStmt{Proc: name, Args: args}, p.expectPunct(";")
+			return &CallStmt{Proc: name, Args: args, Line: line}, p.expectPunct(";")
 		}
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -593,7 +633,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &AssignStmt{Name: name, X: x}, p.expectPunct(";")
+		return &AssignStmt{Name: name, X: x, Line: line}, p.expectPunct(";")
 	}
 	return nil, p.errf("expected statement, found %q", p.tok.text)
 }
@@ -671,6 +711,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return &IntExpr{Val: v}, p.advance()
 	case p.tok.kind == "ident":
 		name := p.tok.text
+		line := p.tok.line
 		if p.nxt.kind == "punct" && p.nxt.text == "(" {
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -679,9 +720,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &CallExpr{Proc: name, Args: args}, nil
+			return &CallExpr{Proc: name, Args: args, Line: line}, nil
 		}
-		return &NameExpr{Name: name}, p.advance()
+		return &NameExpr{Name: name, Line: line}, p.advance()
 	case p.tok.kind == "punct" && p.tok.text == "(":
 		if err := p.advance(); err != nil {
 			return nil, err

@@ -3,14 +3,11 @@ package minim3
 import (
 	"fmt"
 
-	"cmm/internal/cfg"
-	"cmm/internal/check"
-	"cmm/internal/codegen"
 	"cmm/internal/dispatch"
 	"cmm/internal/machine"
+	"cmm/internal/pipeline"
 	"cmm/internal/rts"
 	"cmm/internal/sem"
-	"cmm/internal/syntax"
 	"cmm/internal/vm"
 )
 
@@ -29,6 +26,9 @@ type Runner struct {
 	Policy  Policy
 	Backend Backend
 	CmmSrc  string // the generated C-- source, for inspection
+	// Session is the pipeline that compiled the program: per-pass wall
+	// time (front-end m3-* stages included), diagnostics, and snapshots.
+	Session *pipeline.Session
 
 	semM *sem.Machine
 	inst *vm.Instance
@@ -53,25 +53,21 @@ func NewRunner(src string, policy Policy, backend Backend) (*Runner, error) {
 	return NewRunnerWith(src, policy, backend, CompileOptions{})
 }
 
-// NewRunnerWith is NewRunner with front-end options.
+// NewRunnerWith is NewRunner with front-end options. Compilation runs
+// through a pipeline session: the m3-* front-end stages and the C--
+// back-end passes all land in Session.Stats, retrievable via
+// Runner.Session.
 func NewRunnerWith(src string, policy Policy, backend Backend, copts CompileOptions) (*Runner, error) {
-	cmmSrc, err := CompileWith(src, policy, copts)
+	sess, err := NewSession(src, policy, copts, pipeline.Config{})
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{Policy: policy, Backend: backend, CmmSrc: cmmSrc}
-	parsed, err := syntax.Parse(cmmSrc)
-	if err != nil {
-		return nil, fmt.Errorf("generated C-- does not parse: %w\n%s", err, cmmSrc)
+	r := &Runner{Policy: policy, Backend: backend, Session: sess}
+	if err := sess.Frontend(); err != nil {
+		return nil, fmt.Errorf("generated C-- does not compile: %w", err)
 	}
-	info, err := check.Check(parsed)
-	if err != nil {
-		return nil, fmt.Errorf("generated C-- does not check: %w\n%s", err, cmmSrc)
-	}
-	prog, err := cfg.Build(parsed, info)
-	if err != nil {
-		return nil, fmt.Errorf("generated C-- does not build: %w\n%s", err, cmmSrc)
-	}
+	r.CmmSrc = sess.Source()
+	prog := sess.Program()
 	d := dispatcherFor(policy)
 	switch backend {
 	case BackendSem:
@@ -92,9 +88,9 @@ func NewRunnerWith(src string, policy Policy, backend Backend, copts CompileOpti
 		}
 		r.semM = m
 	case BackendVM:
-		cp, err := codegen.Compile(prog, codegen.Options{})
+		cp, err := sess.Codegen()
 		if err != nil {
-			return nil, fmt.Errorf("generated C-- does not compile: %w\n%s", err, cmmSrc)
+			return nil, fmt.Errorf("generated C-- does not compile: %w\n%s", err, r.CmmSrc)
 		}
 		var opts []vm.Option
 		if d != nil {

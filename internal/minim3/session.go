@@ -1,0 +1,86 @@
+package minim3
+
+import (
+	"time"
+
+	"cmm/internal/diag"
+	"cmm/internal/pipeline"
+)
+
+// NewSession compiles MiniM3 source to C-- under the given policy and
+// returns a pipeline session over the generated C--, with the front-end
+// stages (m3-parse, m3-check, m3-infer, m3-emit) recorded in the
+// session's pass stats and the inference notes in its diagnostics. The
+// back-end passes run lazily as usual.
+//
+// Front-end failures return structured diagnostics (diag.List) naming
+// the m3-* pass that rejected the program.
+func NewSession(src string, policy Policy, opts CompileOptions, pcfg pipeline.Config) (*pipeline.Session, error) {
+	var stats []pipeline.PassStat
+
+	start := time.Now()
+	prog, err := ParseFile(pcfg.File, src)
+	stats = append(stats, pipeline.PassStat{
+		Name: PassM3Parse, Wall: time.Since(start),
+		IRBefore: len(src), IRAfter: len(src),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	cp, err := Check(prog)
+	stats = append(stats, pipeline.PassStat{
+		Name: PassM3Check, Wall: time.Since(start),
+		Procs: len(prog.Procs), IRBefore: len(prog.Procs), IRAfter: len(prog.Procs),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e := &emitter{cp: cp, policy: policy, opts: opts}
+	inferNotes := prepareMayRaise(e, prog, opts, &stats)
+
+	start = time.Now()
+	cmmSrc, err := e.program()
+	stats = append(stats, pipeline.PassStat{
+		Name: PassM3Emit, Wall: time.Since(start),
+		Procs: len(prog.Procs), IRBefore: len(prog.Procs), IRAfter: len(cmmSrc),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sess := pipeline.New(cmmSrc, pcfg)
+	for _, st := range stats {
+		sess.Record(st)
+	}
+	sess.AddDiagnostics(inferNotes)
+	return sess, nil
+}
+
+// prepareMayRaise fills the emitter's may-raise map, timing the
+// inference stage when pruning is on.
+func prepareMayRaise(e *emitter, prog *Program, opts CompileOptions, stats *[]pipeline.PassStat) diag.List {
+	if !opts.Prune {
+		e.mayRaise = map[string]bool{}
+		for _, pr := range prog.Procs {
+			e.mayRaise[pr.Name] = true
+		}
+		return nil
+	}
+	start := time.Now()
+	may, ns := Infer(prog)
+	e.mayRaise = may
+	pruned := 0
+	for _, pr := range prog.Procs {
+		if !may[pr.Name] {
+			pruned++
+		}
+	}
+	*stats = append(*stats, pipeline.PassStat{
+		Name: PassM3Infer, Wall: time.Since(start),
+		Procs: len(prog.Procs), IRBefore: len(prog.Procs), IRAfter: len(prog.Procs) - pruned,
+	})
+	return ns
+}

@@ -254,7 +254,7 @@ func (o *optimizer) propagate() {
 		}
 		if n.LHSMem != nil {
 			n.LHSMem = &syntax.MemExpr{Type: n.LHSMem.Type, Addr: rewrite(n.LHSMem.Addr)}
-			o.info.ExprTypes[n.LHSMem] = n.LHSMem.Type
+			o.info.SetType(n.LHSMem, n.LHSMem.Type)
 		}
 		if n.Cond != nil {
 			n.Cond = rewrite(n.Cond)
@@ -382,7 +382,7 @@ func (o *optimizer) rewriteExpr(e syntax.Expr, vm valueMap) syntax.Expr {
 			t := o.typeOf(e)
 			if t.Kind == syntax.BitsType {
 				lit := &syntax.IntLit{Val: l.val, Type: t}
-				o.info.ExprTypes[lit] = t
+				o.info.SetType(lit, t)
 				o.res.ConstantsFolded++
 				return lit
 			}
@@ -395,29 +395,29 @@ func (o *optimizer) rewriteExpr(e syntax.Expr, vm valueMap) syntax.Expr {
 			if l := vm.get(e.Name); l.kind == latCopy && l.src != e.Name && o.isLocal(l.src) {
 				o.res.CopiesPropagated++
 				v := &syntax.VarExpr{Name: l.src}
-				o.info.ExprTypes[v] = o.typeOf(e)
+				o.info.SetType(v, o.typeOf(e))
 				return v
 			}
 		}
 		return e
 	case *syntax.MemExpr:
 		ne := &syntax.MemExpr{Type: e.Type, Addr: o.rewriteExpr(e.Addr, vm)}
-		o.info.ExprTypes[ne] = e.Type
+		o.info.SetType(ne, e.Type)
 		return ne
 	case *syntax.UnExpr:
 		ne := &syntax.UnExpr{Op: e.Op, X: o.rewriteExpr(e.X, vm)}
-		o.info.ExprTypes[ne] = o.typeOf(e)
+		o.info.SetType(ne, o.typeOf(e))
 		return ne
 	case *syntax.BinExpr:
 		ne := &syntax.BinExpr{Op: e.Op, X: o.rewriteExpr(e.X, vm), Y: o.rewriteExpr(e.Y, vm)}
-		o.info.ExprTypes[ne] = o.typeOf(e)
+		o.info.SetType(ne, o.typeOf(e))
 		return ne
 	case *syntax.PrimExpr:
 		ne := &syntax.PrimExpr{Name: e.Name}
 		for _, a := range e.Args {
 			ne.Args = append(ne.Args, o.rewriteExpr(a, vm))
 		}
-		o.info.ExprTypes[ne] = o.typeOf(e)
+		o.info.SetType(ne, o.typeOf(e))
 		return ne
 	}
 	return e
@@ -658,7 +658,7 @@ func (o *optimizer) localCSE() {
 				hit := false
 				if prev, ok := avail[key]; ok && worthCSE(n.RHS) && prev != n.LHSVar {
 					v := &syntax.VarExpr{Name: prev}
-					o.info.ExprTypes[v] = o.typeOf(n.RHS)
+					o.info.SetType(v, o.typeOf(n.RHS))
 					n.RHS = v
 					o.res.CSEHits++
 					hit = true

@@ -1,0 +1,253 @@
+package pipeline
+
+import (
+	"runtime"
+	"slices"
+	"strings"
+	"testing"
+
+	"cmm/internal/codegen"
+	"cmm/internal/diag"
+	"cmm/internal/progen"
+	"cmm/internal/vm"
+)
+
+const simple = `
+bits32 g = 7;
+
+p0 (bits32 x) {
+    bits32 y;
+    y = x + 1;
+    y = y * 2;
+    return (y);
+}
+
+helper (bits32 a) {
+    return (a + g);
+}
+`
+
+// TestSessionStages: the staged session runs every declared pass, in
+// order, and records a stat for each.
+func TestSessionStages(t *testing.T) {
+	s := New(simple, Config{File: "simple.cmm", Workers: 1})
+	if err := s.Frontend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Codegen(); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, st := range s.Stats() {
+		names = append(names, st.Name)
+	}
+	want := []string{"parse", "check", "translate", "liveness", "opt", "liveness", "codegen", "link"}
+	if !slices.Equal(names, want) {
+		t.Fatalf("pass order = %v, want %v", names, want)
+	}
+	for _, st := range s.Stats() {
+		if st.Wall < 0 {
+			t.Errorf("pass %s has negative wall time", st.Name)
+		}
+	}
+}
+
+// TestSessionMatchesSerialCompile: the session's parallel codegen is
+// byte-identical to the plain serial codegen.Compile entry point.
+func TestSessionMatchesSerialCompile(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := progen.Generate(seed, progen.Config{Exceptions: seed%2 == 0})
+
+		s := New(src, Config{Workers: runtime.NumCPU()})
+		got, err := s.Codegen()
+		if err != nil {
+			t.Fatalf("seed %d: session: %v", seed, err)
+		}
+
+		ref := buildRef(t, src)
+		if !slices.Equal(got.Code, ref.Code) {
+			t.Fatalf("seed %d: session code differs from serial codegen.Compile", seed)
+		}
+	}
+}
+
+func buildRef(t *testing.T, src string) *codegen.Program {
+	t.Helper()
+	s := New(src, Config{Workers: 1})
+	if err := s.Frontend(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := codegen.Compile(s.Program(), codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestParallelDeterminism: across many random programs, compiling with
+// one worker and with NumCPU workers produces byte-identical machine
+// code and bit-identical simulated cycle counts.
+func TestParallelDeterminism(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4 // still exercises the pool path
+	}
+	seeds := int64(45)
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := progen.Generate(seed, progen.Config{Exceptions: seed%2 == 0})
+
+		serial := compileSession(t, seed, src, 1)
+		parallel := compileSession(t, seed, src, workers)
+
+		if !slices.Equal(serial.Code, parallel.Code) {
+			t.Fatalf("seed %d: workers=1 and workers=%d disagree on machine code", seed, workers)
+		}
+		args := []uint64{0, 5, 42}
+		if testing.Short() {
+			// The code bytes are already proven identical; the execution
+			// check is an end-to-end sanity pass, so spot-check it — vm
+			// runs are what make this sweep slow under -race.
+			if seed >= 3 {
+				continue
+			}
+			args = []uint64{5}
+		}
+		for _, arg := range args {
+			c1, r1, ok1 := runCycles(t, serial, arg)
+			c2, r2, ok2 := runCycles(t, parallel, arg)
+			if ok1 != ok2 || r1 != r2 || c1 != c2 {
+				t.Fatalf("seed %d arg %d: serial (res=%d cycles=%d ok=%v) != parallel (res=%d cycles=%d ok=%v)",
+					seed, arg, r1, c1, ok1, r2, c2, ok2)
+			}
+		}
+	}
+}
+
+func compileSession(t *testing.T, seed int64, src string, workers int) *codegen.Program {
+	t.Helper()
+	s := New(src, Config{Workers: workers})
+	if _, err := s.Optimize(); err != nil {
+		t.Fatalf("seed %d workers=%d: optimize: %v", seed, workers, err)
+	}
+	cp, err := s.Codegen()
+	if err != nil {
+		t.Fatalf("seed %d workers=%d: codegen: %v", seed, workers, err)
+	}
+	return cp
+}
+
+func runCycles(t *testing.T, cp *codegen.Program, arg uint64) (cycles int64, result uint64, ok bool) {
+	t.Helper()
+	inst, err := vm.NewInstance(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Run("p0", arg)
+	if err != nil {
+		return inst.Stats().Cycles, 0, false
+	}
+	return inst.Stats().Cycles, res[0], true
+}
+
+// TestSnapshots: -dump-after captures per-procedure IR after the named
+// pass, and the codegen snapshot shows final (linked) addresses.
+func TestSnapshots(t *testing.T) {
+	s := New(simple, Config{
+		Workers:   1,
+		DumpAfter: []string{"translate", "opt", "codegen"},
+	})
+	if _, err := s.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Codegen(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pass := range []string{"translate", "opt", "codegen"} {
+		procs := s.SnapshotProcs(pass)
+		if !slices.Contains(procs, "p0") || !slices.Contains(procs, "helper") {
+			t.Fatalf("snapshot after %s covers %v, want p0 and helper", pass, procs)
+		}
+		dump, ok := s.Snapshot(pass, "p0")
+		if !ok || dump == "" {
+			t.Fatalf("no snapshot of p0 after %s", pass)
+		}
+	}
+	if dump, _ := s.Snapshot("codegen", "p0"); !strings.Contains(dump, ":") {
+		t.Fatalf("codegen snapshot is not a disassembly:\n%s", dump)
+	}
+}
+
+// TestSnapshotProcFilter: Config.DumpProc restricts capture to one
+// procedure.
+func TestSnapshotProcFilter(t *testing.T) {
+	s := New(simple, Config{Workers: 1, DumpAfter: []string{"translate"}, DumpProc: "helper"})
+	if err := s.Frontend(); err != nil {
+		t.Fatal(err)
+	}
+	if procs := s.SnapshotProcs("translate"); !slices.Equal(procs, []string{"helper"}) {
+		t.Fatalf("DumpProc=helper captured %v", procs)
+	}
+}
+
+// TestValidateUnknownPass: a bad -dump-after names the valid passes.
+func TestValidateUnknownPass(t *testing.T) {
+	err := Config{DumpAfter: []string{"nosuch"}}.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted unknown pass")
+	}
+	for _, name := range PassNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list pass %s", err, name)
+		}
+	}
+}
+
+// TestDiagnosticsCarryPass: stage failures surface as structured
+// diagnostics attributed to the failing pass.
+func TestDiagnosticsCarryPass(t *testing.T) {
+	s := New("p0 (bits32 x) { return (y); }", Config{File: "bad.cmm", Workers: 1})
+	err := s.Frontend()
+	if err == nil {
+		t.Fatal("expected a check error")
+	}
+	ds := s.Diagnostics()
+	if !ds.HasErrors() {
+		t.Fatal("no error diagnostics recorded")
+	}
+	found := false
+	for _, d := range ds {
+		if d.Severity == diag.SevError && d.Pass == "check" && d.File == "bad.cmm" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no error diagnostic with pass=check file=bad.cmm: %v", ds)
+	}
+}
+
+// TestLivenessInvalidation: opt invalidates the liveness cache; the
+// session recomputes it exactly once for codegen.
+func TestLivenessInvalidation(t *testing.T) {
+	s := New(simple, Config{Workers: 1})
+	if _, err := s.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Codegen(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, st := range s.Stats() {
+		if st.Name == "liveness" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("liveness ran %d times, want 2 (post-translate + post-opt)", n)
+	}
+}

@@ -59,6 +59,7 @@ func TypeByName(name string) (Type, bool) {
 
 // Program is a parsed C-- compilation unit.
 type Program struct {
+	File    string // source file name, when known ("" for string input)
 	Exports []string
 	Imports []string
 	Globals []*Global

@@ -1,0 +1,17 @@
+package syntax
+
+import "cmm/internal/diag"
+
+// Error is the positioned diagnostic this package (and its downstream
+// consumers) produce: an alias for the structured diag.Diagnostic, so a
+// parse error carries severity, file:line:col span, and pass provenance
+// instead of a bare string.
+type Error = diag.Diagnostic
+
+// PassParse names the pass that lexer and parser diagnostics carry.
+const PassParse = "parse"
+
+// ErrorAt builds an error-severity diagnostic at pos for the named pass.
+func ErrorAt(pass, file string, pos Pos, format string, args ...any) *Error {
+	return diag.Errorf(pass, file, pos.Line, pos.Col, format, args...)
+}

@@ -1,25 +1,17 @@
 package syntax
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 	"unicode"
 	"unicode/utf8"
 )
 
-// Error is a positioned syntax error.
-type Error struct {
-	Pos Pos
-	Msg string
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
-
 // Lexer turns C-- source text into tokens. Comments are C-style /* */ and
 // C++-style //.
 type Lexer struct {
 	src  string
+	file string
 	off  int
 	line int
 	col  int
@@ -28,6 +20,12 @@ type Lexer struct {
 // NewLexer returns a lexer over src.
 func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// NewFileLexer returns a lexer over src that stamps file into every
+// diagnostic.
+func NewFileLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
 }
 
 func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
@@ -68,7 +66,7 @@ func (l *Lexer) advance() rune {
 }
 
 func (l *Lexer) errf(p Pos, format string, args ...any) *Error {
-	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+	return ErrorAt(PassParse, l.file, p, format, args...)
 }
 
 func isIdentStart(r rune) bool {

@@ -1,18 +1,21 @@
 package syntax
 
-import "fmt"
-
 // Parser is a recursive-descent parser for C--.
 type Parser struct {
-	lex *Lexer
-	tok Token // current token
-	nxt Token // one token of lookahead
-	err error
+	lex  *Lexer
+	file string
+	tok  Token // current token
+	nxt  Token // one token of lookahead
+	err  error
 }
 
 // Parse parses a complete C-- compilation unit.
-func Parse(src string) (*Program, error) {
-	p := &Parser{lex: NewLexer(src)}
+func Parse(src string) (*Program, error) { return ParseFile("", src) }
+
+// ParseFile parses a complete C-- compilation unit, stamping file into
+// every diagnostic and into the resulting Program.
+func ParseFile(file, src string) (*Program, error) {
+	p := &Parser{lex: NewFileLexer(file, src), file: file}
 	// Prime tok and nxt.
 	p.advance()
 	p.advance()
@@ -20,6 +23,7 @@ func Parse(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog.File = file
 	return prog, nil
 }
 
@@ -41,7 +45,7 @@ func (p *Parser) errf(format string, args ...any) error {
 	if p.err != nil {
 		return p.err
 	}
-	return &Error{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+	return ErrorAt(PassParse, p.file, p.tok.Pos, format, args...)
 }
 
 func (p *Parser) expect(k Kind) (Token, error) {
@@ -200,7 +204,7 @@ func (p *Parser) parseDatum() (*Datum, error) {
 	}
 	t, ok := TypeByName(typeTok.Text)
 	if !ok {
-		return nil, &Error{Pos: typeTok.Pos, Msg: fmt.Sprintf("%s is not a type", typeTok.Text)}
+		return nil, ErrorAt(PassParse, p.file, typeTok.Pos, "%s is not a type", typeTok.Text)
 	}
 	d.Type = t
 	if p.accept(LBRACKET) {
@@ -245,7 +249,7 @@ func (p *Parser) parseProc() (*Proc, error) {
 		}
 		t, ok := TypeByName(typeTok.Text)
 		if !ok {
-			return nil, &Error{Pos: typeTok.Pos, Msg: fmt.Sprintf("%s is not a type", typeTok.Text)}
+			return nil, ErrorAt(PassParse, p.file, typeTok.Pos, "%s is not a type", typeTok.Text)
 		}
 		id, err := p.expect(IDENT)
 		if err != nil {
@@ -385,7 +389,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			}
 			r.Index, r.Arity = int(i.Int), int(n.Int)
 			if r.Index > r.Arity {
-				return nil, &Error{Pos: pos, Msg: fmt.Sprintf("return <%d/%d>: index exceeds continuation count", r.Index, r.Arity)}
+				return nil, ErrorAt(PassParse, p.file, pos, "return <%d/%d>: index exceeds continuation count", r.Index, r.Arity)
 			}
 		}
 		if p.accept(LPAREN) {
@@ -537,7 +541,7 @@ func (p *Parser) parseExprLedStmt(pos Pos) (Stmt, error) {
 		lhs := []LValue{}
 		lv, ok := first.(LValue)
 		if !ok {
-			return nil, &Error{Pos: first.Position(), Msg: "left side of = must be a variable or memory reference"}
+			return nil, ErrorAt(PassParse, p.file, first.Position(), "left side of = must be a variable or memory reference")
 		}
 		lhs = append(lhs, lv)
 		for p.accept(COMMA) {
@@ -547,7 +551,7 @@ func (p *Parser) parseExprLedStmt(pos Pos) (Stmt, error) {
 			}
 			lv, ok := e.(LValue)
 			if !ok {
-				return nil, &Error{Pos: e.Position(), Msg: "left side of = must be a variable or memory reference"}
+				return nil, ErrorAt(PassParse, p.file, e.Position(), "left side of = must be a variable or memory reference")
 			}
 			lhs = append(lhs, lv)
 		}
@@ -595,7 +599,7 @@ func (p *Parser) parseExprLedStmt(pos Pos) (Stmt, error) {
 			return nil, err
 		}
 		if len(lhs) != len(rhs) {
-			return nil, &Error{Pos: pos, Msg: fmt.Sprintf("assignment arity mismatch: %d targets, %d values", len(lhs), len(rhs))}
+			return nil, ErrorAt(PassParse, p.file, pos, "assignment arity mismatch: %d targets, %d values", len(lhs), len(rhs))
 		}
 		return &AssignStmt{stmtBase: stmtBase{pos}, LHS: lhs, RHS: rhs}, nil
 	}

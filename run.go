@@ -145,7 +145,7 @@ func (m *Module) Interp(opts ...RunOption) (*Interp, error) {
 			return out, nil
 		}))
 	}
-	mm, err := sem.New(m.prog, semOpts...)
+	mm, err := sem.New(m.sess.Program(), semOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -192,10 +192,21 @@ func (m *Module) Native(cc CompileConfig, opts ...RunOption) (*Machine, error) {
 	for _, o := range opts {
 		o(&c)
 	}
-	cp, err := codegen.Compile(m.prog, codegen.Options{
+	// Codegen runs through the module's pipeline session: per-procedure
+	// emission fans out over the session's worker pool and lands in
+	// PassStats. The default configuration reuses the session's cached
+	// code; ablations recompile.
+	copts := codegen.Options{
 		TestAndBranch:      cc.TestAndBranch,
 		DisableCalleeSaves: cc.NoCalleeSaves,
-	})
+	}
+	var cp *codegen.Program
+	var err error
+	if cc == (CompileConfig{}) {
+		cp, err = m.sess.Codegen()
+	} else {
+		cp, err = m.sess.CodegenWith(copts)
+	}
 	if err != nil {
 		return nil, err
 	}
