@@ -8,7 +8,6 @@ package cmm_test
 
 import (
 	"fmt"
-	"strings"
 	"testing"
 
 	"cmm"
@@ -80,103 +79,15 @@ func BenchmarkFigure1_Sp3(b *testing.B) { benchFigure1(b, "sp3") }
 // bottom. Cutting mechanisms are constant-time in d; unwinding
 // mechanisms pay per frame.
 
-const fig2CutSrc = `
-f(bits32 depth) {
-    bits32 r;
-    r = dig(depth, k) also cuts to k;
-    return (r);
-continuation k(r):
-    return (r);
-}
-dig(bits32 n, bits32 kv) {
-    bits32 r;
-    if n == 0 {
-        cut to kv(42) also aborts;
-    }
-    r = dig(n - 1, kv) also aborts;
-    return (r);
-}
-`
-
-const fig2RuntimeCutSrc = `
-bits32 handler;
-f(bits32 depth) {
-    bits32 tag, arg;
-    handler = k;
-    arg = dig(depth) also cuts to k;
-    return (arg);
-continuation k(tag, arg):
-    return (arg);
-}
-dig(bits32 n) {
-    bits32 r;
-    if n == 0 {
-        yield(1, 7, 42) also aborts;
-    }
-    r = dig(n - 1) also aborts;
-    return (r);
-}
-`
-
-const fig2RuntimeUnwindSrc = `
-section "data" {
-    desc: bits32 1,  7, 0, 1;
-}
-f(bits32 depth) {
-    bits32 r;
-    r = dig(depth) also unwinds to k also aborts descriptors(desc);
-    return (r);
-continuation k(r):
-    return (r);
-}
-dig(bits32 n) {
-    bits32 r;
-    if n == 0 {
-        yield(1, 7, 42) also aborts;
-    }
-    r = dig(n - 1) also aborts;
-    return (r);
-}
-`
-
-const fig2NativeUnwindSrc = `
-f(bits32 depth) {
-    bits32 r;
-    r = dig(depth) also returns to k;
-    return (r);
-continuation k(r):
-    return (r);
-}
-dig(bits32 n) {
-    bits32 r;
-    if n == 0 {
-        return <0/1> (42);
-    }
-    r = dig(n - 1) also returns to kx;
-    return <1/1> (r);
-continuation kx(r):
-    return <0/1> (r);
-}
-`
-
-const fig2CPSSrc = `
-f(bits32 depth) {
-    bits32 r;
-    r = dig(depth, hproc);
-    return (r);
-}
-hproc(bits32 arg) {
-    return (arg);
-}
-dig(bits32 n, bits32 h) {
-    bits32 r;
-    if n == 0 {
-        jump h(42);
-    }
-    r = dig(n - 1, h);
-    return (r);
-}
-`
+// The five mechanism programs live in internal/paper (fig2.go) so the
+// observability golden tests and cmd/cmmbench share them.
+const (
+	fig2CutSrc           = paper.Fig2Cut
+	fig2RuntimeCutSrc    = paper.Fig2RuntimeCut
+	fig2RuntimeUnwindSrc = paper.Fig2RuntimeUnwind
+	fig2NativeUnwindSrc  = paper.Fig2NativeUnwind
+	fig2CPSSrc           = paper.Fig2CPS
+)
 
 func benchFigure2(b *testing.B, src string, d cmm.Dispatcher) {
 	for _, depth := range []uint64{4, 32, 256} {
@@ -213,32 +124,7 @@ func BenchmarkFigure2_CPS(b *testing.B)      { benchFigure2(b, fig2CPSSrc, nil) 
 // compare per alternate on every return. The table's price is space:
 // words per call site, reported as code-size metrics.
 
-const fig34Src = `
-g(bits32 x) {
-    if x == 1000000 {
-        return <0/2> (x);
-    }
-    if x == 2000000 {
-        return <1/2> (x);
-    }
-    return <2/2> (x);
-}
-f(bits32 n) {
-    bits32 i, r;
-    i = 0; r = 0;
-loop:
-    if i == n {
-        return (r);
-    }
-    r = g(i) also returns to k0, k1;
-    i = i + 1;
-    goto loop;
-continuation k0(r):
-    return (r);
-continuation k1(r):
-    return (r);
-}
-`
+const fig34Src = paper.Fig34
 
 func benchFig34(b *testing.B, testAndBranch bool) {
 	mach := benchMachine(b, fig34Src, cmm.CompileConfig{TestAndBranch: testAndBranch})
@@ -265,33 +151,7 @@ func BenchmarkFig34_TestAndBranch(b *testing.B) { benchFig34(b, true) }
 // cutting ("may be best suited to implementations that use no
 // callee-saves registers", §2 — Objective CAML's choice), so the only
 // difference is the buffer size.
-func setjmpSrc(words int) string {
-	var sb strings.Builder
-	sb.WriteString(`
-enter(bits32 n, bits32 buf) {
-    bits32 i, r;
-    i = 0; r = 0;
-loop:
-    if i == n { return (r); }
-    r = scope(i, buf) also aborts;
-    i = i + 1;
-    goto loop;
-}
-leaf(bits32 x) { return (x); }
-scope(bits32 x, bits32 buf) {
-    bits32 r;
-`)
-	// One store per jmp_buf word, as setjmp does on scope entry.
-	for w := 0; w < words; w++ {
-		fmt.Fprintf(&sb, "    bits32[buf + %d] = x;\n", 4*w)
-	}
-	sb.WriteString(`
-    r = leaf(x) also aborts;
-    return (r);
-}
-`)
-	return sb.String()
-}
+func setjmpSrc(words int) string { return paper.SetjmpSrc(words) }
 
 const nativeCutScopeSrc = `
 enter(bits32 n, bits32 buf) {

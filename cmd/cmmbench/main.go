@@ -1,0 +1,285 @@
+// Command cmmbench regenerates the paper-figure measurements from the
+// observability layer and benchmarks host throughput.
+//
+// Default mode reruns the Figure 2 design-space scenario — raise from
+// depth d back to a bottom handler under each exception mechanism —
+// with an observer attached, and prints the EXPERIMENTS.md table
+// from the collected metrics: simulated cycles per (build stack +
+// raise), the per-frame slope, and the dispatch evidence (unwind steps
+// walked, cut depths) that tells constant-time from linear mechanisms
+// apart. It also reruns the §2 setjmp scope-entry comparison with
+// modeled jmp_buf copy events.
+//
+//	go run ./cmd/cmmbench                # figure tables, markdown
+//	go run ./cmd/cmmbench -bench -out BENCH_pr3.json
+//
+// -bench measures host throughput (ns/op and simulated instructions
+// retired per host second) of both execution engines on fixed workloads
+// and writes a JSON report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmm"
+	"cmm/internal/obs"
+	"cmm/internal/paper"
+)
+
+var (
+	benchMode = flag.Bool("bench", false, "measure host throughput of both engines instead of printing figure tables")
+	outFile   = flag.String("out", "", "write output to this file instead of stdout")
+)
+
+func main() {
+	flag.Parse()
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	var err error
+	if *benchMode {
+		err = writeBench(out)
+	} else {
+		err = writeFigures(out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmmbench:", err)
+	os.Exit(1)
+}
+
+// mechanism is one point in the Figure 2 design space.
+type mechanism struct {
+	name       string
+	src        string
+	dispatcher cmm.Dispatcher
+}
+
+func mechanisms() []mechanism {
+	return []mechanism{
+		{"cut to (generated)", paper.Fig2Cut, nil},
+		{"SetCutToCont (runtime)", paper.Fig2RuntimeCut, cmm.NewRegisterDispatcher("handler")},
+		{"SetActivation+SetUnwindCont", paper.Fig2RuntimeUnwind, cmm.NewUnwindDispatcher()},
+		{"return <m/n> (generated)", paper.Fig2NativeUnwind, nil},
+		{"CPS tail call", paper.Fig2CPS, nil},
+	}
+}
+
+var depths = []uint64{4, 32, 256}
+
+// measure runs f(depth) once under an observer and returns simulated
+// cycles plus the observer's metrics counters.
+func measure(m mechanism, depth uint64) (int64, map[string]int64, error) {
+	mod, err := cmm.Load(m.src)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %v", m.name, err)
+	}
+	o := cmm.NewObserver()
+	opts := []cmm.RunOption{cmm.WithObserver(o)}
+	if m.dispatcher != nil {
+		opts = append(opts, cmm.WithDispatcher(m.dispatcher))
+	}
+	mach, err := mod.Native(cmm.CompileConfig{}, opts...)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %v", m.name, err)
+	}
+	res, err := mach.Run("f", depth)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s depth %d: %v", m.name, depth, err)
+	}
+	if res[0] != 42 {
+		return 0, nil, fmt.Errorf("%s depth %d: got %d, want 42", m.name, depth, res[0])
+	}
+	mach.RecordObsCounters()
+	return mach.Stats().Cycles, o.Metrics().Counters, nil
+}
+
+func writeFigures(out *os.File) error {
+	fmt.Fprintln(out, "# cmmbench figure tables (regenerated from observability metrics)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "## Figure 2 — raise from depth d to a bottom handler")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| mechanism | d=4 | d=32 | d=256 | slope (cyc/frame) | dispatch evidence |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|")
+	for _, m := range mechanisms() {
+		var cycles []int64
+		var last map[string]int64
+		var evidence []string
+		for _, d := range depths {
+			cyc, counters, err := measure(m, d)
+			if err != nil {
+				return err
+			}
+			cycles = append(cycles, cyc)
+			last = counters
+			switch {
+			case counters["unwind_steps"] > 0:
+				evidence = append(evidence, fmt.Sprintf("%d", counters["unwind_steps"]))
+			case counters["alt_returns"] > 0:
+				evidence = append(evidence, fmt.Sprintf("%d", counters["alt_returns"]))
+			case counters["cuts"] > 0 || counters["resume_cut"] > 0:
+				evidence = append(evidence, fmt.Sprintf("%d", counters["cuts"]+counters["resume_cut"]))
+			default:
+				evidence = append(evidence, "0")
+			}
+		}
+		// Total cost is linear in d for every mechanism (the stack must be
+		// built); the slope separates them: ≈14 cyc/frame of call+return is
+		// the pure-descent baseline, and anything above it is per-frame
+		// raise cost.
+		slope := float64(cycles[2]-cycles[1]) / float64(depths[2]-depths[1])
+		kind := "unwind steps"
+		switch {
+		case last["alt_returns"] > 0:
+			kind = "alt returns"
+		case last["unwind_steps"] == 0 && (last["cuts"] > 0 || last["resume_cut"] > 0):
+			kind = "cuts"
+		case last["unwind_steps"] == 0:
+			kind = "events"
+		}
+		fmt.Fprintf(out, "| %s | %d | %d | %d | %.1f | %s: %s |\n",
+			m.name, cycles[0], cycles[1], cycles[2], slope,
+			kind, joinStrings(evidence, " / "))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "Constant-time mechanisms show depth-independent dispatch evidence")
+	fmt.Fprintln(out, "(cuts stay 1/1/1); linear mechanisms walk or return once per frame")
+	fmt.Fprintln(out, "(evidence grows with d).")
+	fmt.Fprintln(out)
+	return writeSetjmp(out)
+}
+
+// writeSetjmp reruns the §2 jmp_buf comparison with the observer's
+// modeled setjmp-copy events: one KSetjmpCopy of 4·words bytes per
+// handler-scope entry.
+func writeSetjmp(out *os.File) error {
+	const scopes = 100
+	fmt.Fprintln(out, "## §2 — setjmp scope-entry cost vs the native 2-pointer cut")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| platform | jmp_buf words | sim cycles (100 scopes) | bytes copied |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	for _, p := range []struct {
+		name  string
+		words int
+	}{{"pentium", 6}, {"sparc", 19}, {"alpha", 84}} {
+		mod, err := cmm.Load(paper.SetjmpSrc(p.words))
+		if err != nil {
+			return err
+		}
+		o := cmm.NewObserver()
+		mach, err := mod.Native(cmm.CompileConfig{NoCalleeSaves: true}, cmm.WithObserver(o))
+		if err != nil {
+			return err
+		}
+		if _, err := mach.Run("enter", scopes, 0x10000); err != nil {
+			return err
+		}
+		for i := 0; i < scopes; i++ {
+			o.EmitNow(obs.KSetjmpCopy, -1, uint64(p.words), uint64(4*p.words))
+		}
+		mach.RecordObsCounters()
+		c := o.Metrics().Counters
+		fmt.Fprintf(out, "| %s | %d | %d | %d |\n",
+			p.name, p.words, mach.Stats().Cycles, c["setjmp_bytes_copied"])
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func joinStrings(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	return out
+}
+
+// benchResult is one row of the -bench JSON report.
+type benchResult struct {
+	Name            string  `json:"name"`
+	Engine          string  `json:"engine"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	SimInstrsPerOp  int64   `json:"sim_instrs_per_op"`
+	SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
+}
+
+// runThroughput times mach.Run(proc, args...) until ~0.3s has elapsed.
+func runThroughput(mach *cmm.Machine, proc string, args ...uint64) (float64, int64, error) {
+	if _, err := mach.Run(proc, args...); err != nil { // warm-up
+		return 0, 0, err
+	}
+	mach.ResetStats()
+	if _, err := mach.Run(proc, args...); err != nil {
+		return 0, 0, err
+	}
+	instrsPerOp := mach.Stats().Instrs
+	iters, elapsed := 0, time.Duration(0)
+	for elapsed < 300*time.Millisecond {
+		start := time.Now()
+		if _, err := mach.Run(proc, args...); err != nil {
+			return 0, 0, err
+		}
+		elapsed += time.Since(start)
+		iters++
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters), instrsPerOp, nil
+}
+
+func writeBench(out *os.File) error {
+	workloads := []struct {
+		name string
+		src  string
+		proc string
+		args []uint64
+	}{
+		{"fig34-normal-returns", paper.Fig34, "f", []uint64{100000}},
+		{"fig2-cut-depth256", paper.Fig2Cut, "f", []uint64{256}},
+	}
+	var results []benchResult
+	for _, w := range workloads {
+		for _, eng := range []struct {
+			name string
+			e    cmm.Engine
+		}{{"fast", cmm.EngineFast}, {"ref", cmm.EngineRef}} {
+			mod, err := cmm.Load(w.src)
+			if err != nil {
+				return err
+			}
+			mach, err := mod.Native(cmm.CompileConfig{}, cmm.WithEngine(eng.e))
+			if err != nil {
+				return err
+			}
+			nsPerOp, instrsPerOp, err := runThroughput(mach, w.proc, w.args...)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %v", w.name, eng.name, err)
+			}
+			results = append(results, benchResult{
+				Name:            w.name,
+				Engine:          eng.name,
+				NsPerOp:         nsPerOp,
+				SimInstrsPerOp:  instrsPerOp,
+				SimInstrsPerSec: float64(instrsPerOp) / (nsPerOp / 1e9),
+			})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"benchmarks": results})
+}

@@ -13,7 +13,21 @@
 //
 //	cmmrun -run sp3 -args 10 figure1.cmm
 //	cmmrun -engine=fast -stats -run sp3 -args 10 figure1.cmm
+//	cmmrun -engine=fast -stats=json -run sp3 -args 10 figure1.cmm
+//	cmmrun -engine=fast -trace=run.json -metrics=m.json -profile=p.folded \
+//	    -dispatcher=unwind -run main raise.cmm
 //	cmmrun -engine=fast -cpuprofile cpu.out -run f -args 1000 fig34.cmm
+//
+// Observability: -trace writes the event stream (Chrome Trace Event
+// JSON by default — load it in chrome://tracing or Perfetto — or a
+// text log with -trace-format=text); -metrics writes named counters and
+// histograms as JSON; -profile writes a folded-stacks simulated-cycle
+// profile for flamegraph tools. All three work under every engine;
+// under interp, timestamps are abstract-machine transitions rather than
+// simulated cycles.
+//
+// Errors are rendered as structured diagnostics (severity and the pass
+// that produced them), and the exit status is non-zero.
 package main
 
 import (
@@ -26,38 +40,78 @@ import (
 	"strings"
 
 	"cmm"
+	"cmm/internal/diag"
 )
 
+// statsValue lets -stats work both as a boolean (-stats → text) and as
+// a format selector (-stats=json).
+type statsValue struct {
+	set    bool
+	format string
+}
+
+func (v *statsValue) String() string { return v.format }
+
+func (v *statsValue) Set(s string) error {
+	switch s {
+	case "true", "text", "":
+		v.set, v.format = true, "text"
+	case "false":
+		v.set = false
+	case "json":
+		v.set, v.format = true, "json"
+	default:
+		return fmt.Errorf("want -stats, -stats=text, or -stats=json")
+	}
+	return nil
+}
+
+func (v *statsValue) IsBoolFlag() bool { return true }
+
 var (
-	runProc    = flag.String("run", "main", "procedure to run")
-	argList    = flag.String("args", "", "comma-separated integer arguments")
-	doOpt      = flag.Bool("opt", false, "run the optimizer first")
-	steps      = flag.Bool("steps", false, "print the number of machine transitions (interp engine)")
-	dispatcher = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
-	engine     = flag.String("engine", "interp", "execution engine: interp (§5 semantics), fast (threaded code), or ref (reference stepper)")
-	stats      = flag.Bool("stats", false, "print simulated cost counters (fast/ref engines)")
-	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile = flag.String("memprofile", "", "write a heap profile after the run to this file")
+	runProc     = flag.String("run", "main", "procedure to run")
+	argList     = flag.String("args", "", "comma-separated integer arguments")
+	doOpt       = flag.Bool("opt", false, "run the optimizer first")
+	steps       = flag.Bool("steps", false, "print the number of machine transitions (interp engine)")
+	dispatcher  = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
+	engine      = flag.String("engine", "interp", "execution engine: interp (§5 semantics), fast (threaded code), or ref (reference stepper)")
+	stats       statsValue
+	traceOut    = flag.String("trace", "", "write an execution trace to this file")
+	traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Trace Event JSON) or text")
+	metricsOut  = flag.String("metrics", "", "write counters and histograms as JSON to this file")
+	profileOut  = flag.String("profile", "", "write a folded-stacks simulated-cycle profile to this file")
+	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile  = flag.String("memprofile", "", "write a heap profile after the run to this file")
 )
 
 func main() {
+	flag.Var(&stats, "stats", "print simulated cost counters (fast/ref engines); -stats=json for machine-readable output")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cmmrun [flags] file.cmm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *traceFormat != "chrome" && *traceFormat != "text" {
+		fatal("flags", fmt.Errorf("unknown trace format %q (want chrome or text)", *traceFormat))
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		fatal("load", err)
 	}
-	mod, err := cmm.Load(string(src))
+	mod, err := cmm.LoadWith(string(src), cmm.LoadConfig{File: flag.Arg(0)})
 	if err != nil {
-		fatal(err)
+		fatal("compile", err)
 	}
 	if *doOpt {
 		fmt.Println("optimizer:", mod.Optimize())
 	}
+
+	var observer *cmm.Observer
+	if *traceOut != "" || *metricsOut != "" || *profileOut != "" {
+		observer = cmm.NewObserver()
+	}
+
 	var opts []cmm.RunOption
 	switch {
 	case *dispatcher == "":
@@ -68,7 +122,10 @@ func main() {
 	case strings.HasPrefix(*dispatcher, "register:"):
 		opts = append(opts, cmm.WithDispatcher(cmm.NewRegisterDispatcher(strings.TrimPrefix(*dispatcher, "register:"))))
 	default:
-		fatal(fmt.Errorf("unknown dispatcher %q", *dispatcher))
+		fatal("flags", fmt.Errorf("unknown dispatcher %q", *dispatcher))
+	}
+	if observer != nil {
+		opts = append(opts, cmm.WithObserver(observer))
 	}
 
 	var args []uint64
@@ -76,7 +133,7 @@ func main() {
 		for _, part := range strings.Split(*argList, ",") {
 			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
 			if err != nil {
-				fatal(err)
+				fatal("flags", err)
 			}
 			args = append(args, v)
 		}
@@ -85,11 +142,11 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			fatal("profile", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			fatal("profile", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -98,15 +155,19 @@ func main() {
 	case "interp":
 		in, err := mod.Interp(opts...)
 		if err != nil {
-			fatal(err)
+			fatal("load", err)
 		}
 		res, err := in.Run(*runProc, args...)
 		if err != nil {
-			fatal(err)
+			writeObservations(mod, observer)
+			fatal("run", err)
 		}
 		fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
 		if *steps {
 			fmt.Printf("transitions: %d\n", in.Steps())
+		}
+		if stats.set {
+			printInterpStats(in)
 		}
 	case "fast", "ref":
 		if *engine == "ref" {
@@ -114,36 +175,98 @@ func main() {
 		}
 		mach, err := mod.Native(cmm.CompileConfig{}, opts...)
 		if err != nil {
-			fatal(err)
+			fatal("compile", err)
 		}
 		res, err := mach.Run(*runProc, args...)
+		mach.RecordObsCounters()
 		if err != nil {
-			fatal(err)
+			writeObservations(mod, observer)
+			fatal("run", err)
 		}
 		fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
-		if *stats {
-			s := mach.Stats()
-			fmt.Printf("cycles: %d instrs: %d loads: %d stores: %d branches: %d calls: %d yields: %d\n",
-				s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+		if stats.set {
+			printMachineStats(mach)
 		}
 	default:
-		fatal(fmt.Errorf("unknown engine %q (want interp, fast, or ref)", *engine))
+		fatal("flags", fmt.Errorf("unknown engine %q (want interp, fast, or ref)", *engine))
 	}
+
+	writeObservations(mod, observer)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fatal(err)
+			fatal("profile", err)
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			fatal("profile", err)
 		}
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cmmrun:", err)
+func printMachineStats(mach *cmm.Machine) {
+	s := mach.Stats()
+	if stats.format == "json" {
+		fmt.Printf(`{"engine":%q,"cycles":%d,"instrs":%d,"loads":%d,"stores":%d,"branches":%d,"calls":%d,"yields":%d}`+"\n",
+			*engine, s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+		return
+	}
+	fmt.Printf("cycles: %d instrs: %d loads: %d stores: %d branches: %d calls: %d yields: %d\n",
+		s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+}
+
+func printInterpStats(in *cmm.Interp) {
+	if stats.format == "json" {
+		fmt.Printf(`{"engine":"interp","transitions":%d}`+"\n", in.Steps())
+		return
+	}
+	fmt.Printf("transitions: %d\n", in.Steps())
+}
+
+// writeObservations exports whatever the observer collected, even when
+// the run itself failed: a trace of a failing run is exactly what the
+// flags are for.
+func writeObservations(mod *cmm.Module, o *cmm.Observer) {
+	if o == nil {
+		return
+	}
+	if *traceOut != "" {
+		mod.ObserveCompile(o) // put compile passes on the same timeline
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace", err)
+		}
+		defer f.Close()
+		if *traceFormat == "text" {
+			err = o.WriteTextTrace(f)
+		} else {
+			err = o.WriteChromeTrace(f)
+		}
+		if err != nil {
+			fatal("trace", err)
+		}
+	}
+	if *metricsOut != "" {
+		data, err := o.Metrics().JSON()
+		if err != nil {
+			fatal("metrics", err)
+		}
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			fatal("metrics", err)
+		}
+	}
+	if *profileOut != "" {
+		if err := os.WriteFile(*profileOut, []byte(o.Profile().Folded()), 0o644); err != nil {
+			fatal("profile", err)
+		}
+	}
+}
+
+// fatal renders err through the structured-diagnostic renderer — the
+// same severity/pass format the compiler uses — and exits non-zero.
+func fatal(pass string, err error) {
+	fmt.Fprintln(os.Stderr, diag.AsList(err, pass).String())
 	os.Exit(1)
 }

@@ -1,7 +1,10 @@
 package cmm_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,6 +20,18 @@ func runTool(t *testing.T, args ...string) string {
 	return string(out)
 }
 
+// runToolFail executes a command expecting a non-zero exit and returns
+// the combined output.
+func runToolFail(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v: expected failure, got success\n%s", args, out)
+	}
+	return string(out)
+}
+
 func TestCmmrunTool(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tool smoke tests build binaries")
@@ -27,6 +42,148 @@ func TestCmmrunTool(t *testing.T) {
 	}
 	if !strings.Contains(out, "transitions:") {
 		t.Errorf("no step count: %s", out)
+	}
+}
+
+// TestCmmrunStatsJSON: -stats=json emits the machine counters as a
+// single parseable JSON object for the bench tooling to scrape.
+func TestCmmrunStatsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmrun", "-engine=fast", "-run", "sp3", "-args", "10", "-stats=json", "testdata/figure1.cmm")
+	line := out[strings.Index(out, "{"):]
+	var stats map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(line)), &stats); err != nil {
+		t.Fatalf("-stats=json output does not parse: %v\n%s", err, out)
+	}
+	for _, key := range []string{"cycles", "instrs", "loads", "stores"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("-stats=json missing %q: %s", key, line)
+		}
+	}
+}
+
+// TestCmmrunObservability: -trace/-metrics/-profile write a valid Chrome
+// trace (with compile passes and runtime events on one timeline),
+// deterministic metrics JSON, and folded stacks.
+func TestCmmrunObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	profile := filepath.Join(dir, "profile.folded")
+	runTool(t, "./cmd/cmmrun", "-engine=fast", "-run", "sp3", "-args", "10",
+		"-trace", trace, "-metrics", metrics, "-profile", profile,
+		"testdata/figure1.cmm")
+
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawCompile, sawRun bool
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			sawCompile = true
+		case "B", "E", "i":
+			sawRun = true
+		}
+	}
+	if !sawCompile || !sawRun {
+		t.Errorf("trace lacks compile spans (%v) or runtime events (%v)", sawCompile, sawRun)
+	}
+
+	var m struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	raw, err = os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	if m.Counters["sim_cycles"] == 0 || m.Counters["calls"] == 0 {
+		t.Errorf("metrics counters empty: %v", m.Counters)
+	}
+
+	raw, err = os.ReadFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "sp3") || !strings.Contains(string(raw), ";") {
+		t.Errorf("folded profile lacks stacks: %s", raw)
+	}
+
+	// Text format renders one line per event.
+	runTool(t, "./cmd/cmmrun", "-engine=fast", "-run", "sp3", "-args", "10",
+		"-trace", trace, "-trace-format", "text", "testdata/figure1.cmm")
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "call") || !strings.Contains(string(raw), "cyc=") {
+		t.Errorf("text trace: %s", raw)
+	}
+
+	// The default interp engine traces too: the abstract machine has no
+	// cycle model, but call events and a profile (in transitions) still
+	// come out.
+	runTool(t, "./cmd/cmmrun", "-run", "sp1", "-args", "10",
+		"-trace", trace, "-profile", profile, "testdata/figure1.cmm")
+	raw, err = os.ReadFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "sp1") {
+		t.Errorf("interp folded profile lacks sp1: %s", raw)
+	}
+}
+
+// TestCmmrunDiagnostics: failures exit non-zero and render through the
+// structured diagnostic format, naming the pass that failed.
+func TestCmmrunDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runToolFail(t, "./cmd/cmmrun", "-run", "nosuch", "testdata/figure1.cmm")
+	if !strings.Contains(out, "error: [run]") {
+		t.Errorf("runtime failure not rendered as a diagnostic:\n%s", out)
+	}
+	src := filepath.Join(t.TempDir(), "bad.cmm")
+	if err := os.WriteFile(src, []byte("f (bits32 x) {\n    x = ;\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runToolFail(t, "./cmd/cmmrun", src)
+	if !strings.Contains(out, "error: [parse]") || !strings.Contains(out, "bad.cmm:2:") {
+		t.Errorf("parse failure lacks structured position/pass:\n%s", out)
+	}
+}
+
+// TestCmmbenchTool: the figure regenerator emits the Figure 2 table with
+// the cycle counts EXPERIMENTS.md quotes, and -bench emits JSON.
+func TestCmmbenchTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmbench")
+	for _, want := range []string{
+		"| cut to (generated) | 148 | 540 | 3676 |",
+		"| SetActivation+SetUnwindCont | 311 | 1627 | 12155 |",
+		"jmp_buf words",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cmmbench figure output lacks %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -127,6 +127,12 @@ func FormatPassStats(stats []PassStat) string { return pipeline.FormatStats(stat
 // notes included.
 func (m *Module) Diagnostics() Diagnostics { return m.sess.Diagnostics() }
 
+// ObserveCompile feeds the module's per-pass timings into an observer as
+// compile spans, so the compile pipeline and the simulated run land on
+// one Chrome-trace timeline (the trace shows compile passes on one
+// track and the simulated machine on another).
+func (m *Module) ObserveCompile(o *Observer) { m.sess.ObserveInto(o) }
+
 // DumpAfter returns the snapshot of proc captured after the named pass,
 // if LoadConfig.DumpAfter requested it.
 func (m *Module) DumpAfter(pass, proc string) (string, bool) { return m.sess.Snapshot(pass, proc) }

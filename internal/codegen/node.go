@@ -166,16 +166,20 @@ func (gen *generator) emitNode(n *cfg.Node) (*cfg.Node, error) {
 
 	case cfg.KindExit:
 		gen.epilogue()
+		var mark uint8
+		if n.RetIndex < n.RetArity {
+			mark = machine.MarkAltReturn
+		}
 		if gen.opts.TestAndBranch {
 			// The callee reports the chosen continuation in x0; normal
 			// return uses index == arity.
 			gen.emit(machine.Instr{Op: machine.OpLI, Rd: machine.RX0, Imm: int64(n.RetIndex)})
-			gen.emit(machine.Instr{Op: machine.OpRetOff, Imm: 0})
+			gen.emit(machine.Instr{Op: machine.OpRetOff, Imm: 0, Mark: mark})
 		} else {
 			// Branch-table method (Figure 4): return <j/n> lands on the
 			// j'th slot after the call; the normal return (j == n) skips
 			// the whole table.
-			gen.emit(machine.Instr{Op: machine.OpRetOff, Imm: int64(n.RetIndex)})
+			gen.emit(machine.Instr{Op: machine.OpRetOff, Imm: int64(n.RetIndex), Mark: mark})
 		}
 		return nil, nil
 
@@ -188,7 +192,7 @@ func (gen *generator) emitNode(n *cfg.Node) (*cfg.Node, error) {
 		}
 		gen.emit(machine.Instr{Op: machine.OpLoad, Rd: machine.RX0 + 1, Rs: machine.RX0, Imm: 0, Size: wordSlot, Sym: "cont pc"})
 		gen.emit(machine.Instr{Op: machine.OpLoad, Rd: machine.RSP, Rs: machine.RX0, Imm: wordSlot, Size: wordSlot, Sym: "cont sp"})
-		gen.emit(machine.Instr{Op: machine.OpJmpR, Rs: machine.RX0 + 1})
+		gen.emit(machine.Instr{Op: machine.OpJmpR, Rs: machine.RX0 + 1, Mark: machine.MarkCut})
 		return nil, nil
 	}
 	return nil, gen.errf(n, "cannot compile node kind %s", n.Kind)

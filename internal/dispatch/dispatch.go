@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"cmm/internal/cfg"
+	"cmm/internal/obs"
 	"cmm/internal/rts"
 )
 
@@ -61,6 +62,22 @@ const (
 // raised exception — the dispatcher's equivalent of Figure 9's abort().
 var ErrUnhandled = errors.New("unhandled exception: no activation has a matching handler")
 
+// emitDispatch brackets one dispatch on the observability timeline:
+// KDispatch carries (mechanism, tag); KDispatchEnd carries (mechanism,
+// work), where work is the number of activations the dispatcher visited
+// (always 0 for the constant-time cutting dispatchers).
+func emitDispatch(t rts.Thread, mech, tag uint64) {
+	if o := t.Observer(); o != nil {
+		o.EmitNow(obs.KDispatch, -1, mech, tag)
+	}
+}
+
+func emitDispatchEnd(t rts.Thread, mech, work uint64) {
+	if o := t.Observer(); o != nil {
+		o.EmitNow(obs.KDispatchEnd, -1, mech, work)
+	}
+}
+
 // Descriptor layout in simulated memory (the struct exn_descriptor of
 // Figure 9):
 //
@@ -91,10 +108,12 @@ func (d *UnwindDispatcher) Dispatch(t rts.Thread, args []uint64) error {
 	if err != nil {
 		return err
 	}
+	emitDispatch(t, obs.MechUnwind, tag)
 	a, ok := t.FirstActivation()
 	if !ok {
 		return ErrUnhandled
 	}
+	walked := uint64(1)
 	for {
 		if d.Trace != nil {
 			d.Trace(fmt.Sprintf("activation %s: %d descriptor(s)", a.ProcName(), a.DescriptorCount()))
@@ -114,13 +133,16 @@ func (d *UnwindDispatcher) Dispatch(t rts.Thread, args []uint64) error {
 					t.SetContParam(0, tag)
 					t.SetContParam(1, arg)
 				}
+				emitDispatchEnd(t, obs.MechUnwind, walked)
 				return t.Resume()
 			}
 		}
 		a, ok = a.NextActivation()
 		if !ok {
+			emitDispatchEnd(t, obs.MechUnwind, walked)
 			return ErrUnhandled // unhandled exception: dump core
 		}
+		walked++
 	}
 }
 
@@ -198,6 +220,7 @@ func (d *ExnStackDispatcher) Dispatch(t rts.Thread, args []uint64) error {
 	if err != nil {
 		return err
 	}
+	emitDispatch(t, obs.MechExnStack, tag)
 	ws := d.WordSize
 	if ws == 0 {
 		ws = 4
@@ -219,6 +242,7 @@ func (d *ExnStackDispatcher) Dispatch(t rts.Thread, args []uint64) error {
 	}
 	t.SetContParam(0, tag)
 	t.SetContParam(1, arg)
+	emitDispatchEnd(t, obs.MechExnStack, 0)
 	return t.Resume() // invoke the handler
 }
 
@@ -235,6 +259,7 @@ func (d *RegisterDispatcher) Dispatch(t rts.Thread, args []uint64) error {
 	if err != nil {
 		return err
 	}
+	emitDispatch(t, obs.MechRegister, tag)
 	k, ok := t.GlobalWord(d.HandlerGlobal)
 	if !ok || k == 0 {
 		return ErrUnhandled
@@ -244,6 +269,7 @@ func (d *RegisterDispatcher) Dispatch(t rts.Thread, args []uint64) error {
 	}
 	t.SetContParam(0, tag)
 	t.SetContParam(1, arg)
+	emitDispatchEnd(t, obs.MechRegister, 0)
 	return t.Resume()
 }
 

@@ -69,6 +69,7 @@ const (
 // decode time.
 type fastOp struct {
 	code       uint8
+	flags      uint8 // Instr.Mark, for the observability hooks
 	sub, sub2  ALUOp
 	rd, rs, rt Reg
 	rd2, rs2   Reg
@@ -124,6 +125,7 @@ func decodeProgram(code []Instr, cost Costs) []fastOp {
 
 func decodeOne(in *Instr, cost Costs) fastOp {
 	f := fastOp{
+		flags:  in.Mark,
 		sub:    in.Sub,
 		rd:     in.Rd,
 		rs:     in.Rs,

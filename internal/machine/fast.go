@@ -10,7 +10,11 @@
 // a yield and the machine state left behind by a trap.
 package machine
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"cmm/internal/obs"
+)
 
 // RunFast executes until Halt or an error using the threaded-code
 // engine. Like Run, the caller must set PC and argument registers first.
@@ -100,6 +104,11 @@ func (m *Machine) fastChunk() error {
 	limit := m.runStart + m.MaxInstrs
 	total := m.Stats.Instrs
 	var cycles, loads, stores, branches, calls int64
+	// Event timestamps must match the reference engine's, which stamps
+	// with the flushed Stats.Cycles: within a chunk the flushed value is
+	// exactly cycBase + the chunk-local cycle accumulator.
+	obsv := m.Obs
+	cycBase := m.Stats.Cycles
 	for {
 		if uint(pc) >= uint(len(code)) {
 			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
@@ -232,12 +241,20 @@ func (m *Machine) fastChunk() error {
 				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
 				return m.trapf("indirect jump to non-code address %#x", v)
 			}
+			if obsv != nil && op.flags == MarkCut {
+				obsv.Emit(obs.Event{Kind: obs.KCutTo, Ts: cycBase + cycles, Instr: total,
+					PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
+			}
 			pc = idx
 		case fCall:
 			regs[RRA] = CodeAddr(pc + 1)
-			pc = int(op.target)
 			cycles += op.cyc
 			calls++
+			if obsv != nil {
+				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: cycBase + cycles, Instr: total,
+					PC: int32(pc), SP: regs[RSP], A: uint64(op.target)})
+			}
+			pc = int(op.target)
 		case fCallR:
 			cycles += op.cyc
 			calls++
@@ -257,6 +274,10 @@ func (m *Machine) fastChunk() error {
 				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
 				return m.trapf("indirect call to non-code address %#x", v)
 			}
+			if obsv != nil {
+				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: cycBase + cycles, Instr: total,
+					PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
+			}
 			pc = idx
 		case fRetOff:
 			ra := regs[RRA]
@@ -265,13 +286,26 @@ func (m *Machine) fastChunk() error {
 				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
 				return m.trapf("return with corrupt ra %#x", ra)
 			}
-			pc = idx + int(op.imm)
+			next := idx + int(op.imm)
 			cycles += op.cyc
 			branches++
+			if obsv != nil {
+				k := obs.KReturn
+				if op.flags == MarkAltReturn {
+					k = obs.KAltReturn
+				}
+				obsv.Emit(obs.Event{Kind: k, Ts: cycBase + cycles, Instr: total,
+					PC: int32(pc), SP: regs[RSP], A: uint64(next), B: uint64(op.imm)})
+			}
+			pc = next
 		case fYield:
 			cycles += op.cyc
 			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
 			m.Stats.Yields++
+			if obsv != nil {
+				obsv.Emit(obs.Event{Kind: obs.KYield, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+					PC: int32(pc), SP: regs[RSP], A: regs[RA0]})
+			}
 			if m.YieldHandler == nil {
 				return m.trapf("yield with no run-time system")
 			}

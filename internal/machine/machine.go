@@ -19,6 +19,8 @@ package machine
 import (
 	"encoding/binary"
 	"fmt"
+
+	"cmm/internal/obs"
 )
 
 // Register numbers. The machine has 32 general registers.
@@ -159,7 +161,19 @@ type Instr struct {
 	Size   int    // bytes for Load/Store (1, 2, 4, 8)
 	Width  int    // operand width in bits for ALU ops (wraparound)
 	Sym    string // label/comment for disassembly
+	Mark   uint8  // observability marker (MarkCut, MarkAltReturn)
 }
+
+// Instruction markers set by the code generator so the engines can
+// classify control transfers for the tracer without guessing: a `cut to`
+// compiles to an ordinary indirect jump, and an alternate return to an
+// ordinary offset return, distinguishable only at emission time. Marks
+// never affect execution or cost.
+const (
+	MarkNone      uint8 = iota
+	MarkCut             // OpJmpR implementing `cut to`
+	MarkAltReturn       // OpRetOff taking an alternate return continuation
+)
 
 // CodeBase is added to instruction indices to form code addresses, so
 // code pointers and data pointers occupy disjoint ranges.
@@ -259,6 +273,12 @@ type Machine struct {
 	// Engine selects the Run loop (fast threaded code vs. reference
 	// stepper). Simulated counters are identical under both.
 	Engine Engine
+
+	// Obs, when non-nil, receives control-transfer events (calls,
+	// returns, cuts, yields, foreign calls) from both engines. Observers
+	// are passive: counters, registers, and memory are bit-identical with
+	// or without one, and both engines emit identical event streams.
+	Obs *obs.Observer
 
 	// Runtime hooks installed by the loader.
 	YieldHandler func(m *Machine) error
@@ -461,12 +481,20 @@ func (m *Machine) Step() error {
 		if !ok {
 			return m.trapf("indirect jump to non-code address %#x", m.reg(in.Rs))
 		}
+		if m.Obs != nil && in.Mark == MarkCut {
+			m.Obs.Emit(obs.Event{Kind: obs.KCutTo, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(idx)})
+		}
 		next = idx
 	case OpCall:
 		m.set(RRA, CodeAddr(m.PC+1))
 		next = in.Target
 		m.Stats.Cycles += m.Cost.Call
 		m.Stats.Calls++
+		if m.Obs != nil {
+			m.Obs.Emit(obs.Event{Kind: obs.KCall, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(in.Target)})
+		}
 	case OpCallR:
 		m.Stats.Cycles += m.Cost.Call
 		m.Stats.Calls++
@@ -483,6 +511,10 @@ func (m *Machine) Step() error {
 		if !ok {
 			return m.trapf("indirect call to non-code address %#x", m.reg(in.Rs))
 		}
+		if m.Obs != nil {
+			m.Obs.Emit(obs.Event{Kind: obs.KCall, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(idx)})
+		}
 		next = idx
 	case OpRetOff:
 		idx, ok := CodeIndex(m.reg(RRA))
@@ -492,9 +524,21 @@ func (m *Machine) Step() error {
 		next = idx + int(in.Imm)
 		m.Stats.Cycles += m.Cost.Ret
 		m.Stats.Branches++
+		if m.Obs != nil {
+			k := obs.KReturn
+			if in.Mark == MarkAltReturn {
+				k = obs.KAltReturn
+			}
+			m.Obs.Emit(obs.Event{Kind: k, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(next), B: uint64(in.Imm)})
+		}
 	case OpYield:
 		m.Stats.Cycles += m.Cost.Yield
 		m.Stats.Yields++
+		if m.Obs != nil {
+			m.Obs.Emit(obs.Event{Kind: obs.KYield, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+				PC: int32(m.PC), SP: m.Regs[RSP], A: m.Regs[RA0]})
+		}
 		if m.YieldHandler == nil {
 			return m.trapf("yield with no run-time system")
 		}
@@ -524,6 +568,12 @@ func (m *Machine) Step() error {
 
 func (m *Machine) callForeign(idx int) error {
 	m.Stats.Cycles += m.Cost.Foreign
+	// Both engines reach here with flushed counters (the fast engine
+	// flushes before any callout), so the event is engine-identical.
+	if m.Obs != nil {
+		m.Obs.Emit(obs.Event{Kind: obs.KForeign, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+			PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(idx)})
+	}
 	if idx < 0 || idx >= len(m.ForeignFuncs) {
 		return m.trapf("foreign function #%d not registered", idx)
 	}

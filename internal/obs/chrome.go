@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome Trace Event export (the JSON Object Format of the Trace Event
+// spec, loadable in chrome://tracing and Perfetto). Two processes share
+// one timeline:
+//
+//   - pid 1 "compile": one complete ("X") event per pipeline pass, in
+//     host microseconds relative to the first pass;
+//   - pid 2 "simulated machine": the run, with simulated cycles read as
+//     microseconds. Calls open duration ("B") events, the shadow-stack
+//     pops close them ("E"), and the exception-path events (cuts,
+//     yields, unwind steps, dispatcher windows, resumes) appear as
+//     thread-scoped instants ("i").
+//
+// When compile spans are present, the runtime timeline is shifted to
+// start where compilation ended, so the whole life of the program reads
+// left to right.
+
+// ChromeEvent is one entry of the traceEvents array. Exported so tests
+// can validate the output against the Trace Event schema.
+type ChromeEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level object form of the trace.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	chromePidCompile = 1
+	chromePidRun     = 2
+)
+
+// BuildChromeTrace assembles the trace object from the observer's
+// compile spans and runtime events.
+func (o *Observer) BuildChromeTrace() *ChromeTrace {
+	tr := &ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	meta := func(pid int, name string) {
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	var runShift int64
+	if len(o.spans) > 0 {
+		meta(chromePidCompile, "compile")
+		for _, s := range o.spans {
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: s.Name, Phase: "X", Ts: s.Start, Dur: s.Dur,
+				Pid: chromePidCompile, Tid: 1,
+			})
+			if end := s.Start + s.Dur; end > runShift {
+				runShift = end
+			}
+		}
+	}
+	if len(o.Trace) == 0 {
+		return tr
+	}
+
+	meta(chromePidRun, "simulated machine (ts = simulated cycles)")
+	var sim stackSim
+	var lastTs int64
+	for _, ev := range o.Trace {
+		ts := runShift + ev.Ts
+		lastTs = ts
+		// Close the frames this event discards before opening anything.
+		popped, pushed := sim.apply(ev)
+		for i := 0; i < popped; i++ {
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Phase: "E", Ts: ts, Pid: chromePidRun, Tid: 1,
+			})
+		}
+		if pushed {
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: o.procName(int32(ev.A)), Phase: "B", Ts: ts,
+				Pid: chromePidRun, Tid: 1,
+				Args: map[string]any{"pc": ev.PC, "sp": ev.SP},
+			})
+			continue
+		}
+		switch ev.Kind {
+		case KReturn:
+			// The matching E above says it all.
+		default:
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: o.instantName(ev), Phase: "i", Ts: ts,
+				Pid: chromePidRun, Tid: 1, Scope: "t",
+				Args: map[string]any{"pc": ev.PC, "a": ev.A, "b": ev.B},
+			})
+		}
+	}
+	// Close whatever is still open (halt does not emit an event).
+	for i := sim.depth(); i > 0; i-- {
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Phase: "E", Ts: lastTs, Pid: chromePidRun, Tid: 1,
+		})
+	}
+	return tr
+}
+
+// instantName renders an event's display name with its key payload.
+func (o *Observer) instantName(ev Event) string {
+	switch ev.Kind {
+	case KDispatch, KDispatchEnd:
+		return fmt.Sprintf("%s %s", ev.Kind, MechName(ev.A))
+	case KUnwindStep:
+		return fmt.Sprintf("unwind-step d=%d", ev.A)
+	}
+	return ev.Kind.String()
+}
+
+// WriteChromeTrace writes the Chrome Trace Event JSON to w.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	b, err := json.MarshalIndent(o.BuildChromeTrace(), "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTextTrace writes the compact text log: one line per event.
+func (o *Observer) WriteTextTrace(w io.Writer) error {
+	for _, s := range o.spans {
+		if _, err := fmt.Fprintf(w, "pass %-12s start=%dus dur=%dus\n", s.Name, s.Start, s.Dur); err != nil {
+			return err
+		}
+	}
+	for _, ev := range o.Trace {
+		extra := ""
+		if ev.Kind == KCall {
+			extra = " proc=" + o.procName(int32(ev.A))
+		}
+		if _, err := fmt.Fprintf(w, "cyc=%-10d instr=%-9d %-17s pc=%-6d sp=%#x a=%#x b=%#x%s\n",
+			ev.Ts, ev.Instr, ev.Kind, ev.PC, ev.SP, ev.A, ev.B, extra); err != nil {
+			return err
+		}
+	}
+	if o.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d events dropped past the %d-event buffer)\n", o.Dropped, o.MaxEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}

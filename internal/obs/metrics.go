@@ -1,0 +1,133 @@
+package obs
+
+import "encoding/json"
+
+// Bucket is one histogram bucket: N observations with value <= Le.
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is an exported histogram: summary statistics plus
+// power-of-two buckets (only the occupied range is emitted).
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// snapshotHistogram builds a HistogramSnapshot from raw observations.
+func snapshotHistogram(vals []int64) HistogramSnapshot {
+	h := HistogramSnapshot{}
+	if len(vals) == 0 {
+		return h
+	}
+	h.Count = int64(len(vals))
+	h.Min, h.Max = vals[0], vals[0]
+	buckets := map[int64]int64{}
+	for _, v := range vals {
+		h.Sum += v
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+		le := int64(1)
+		for le < v {
+			le *= 2
+		}
+		buckets[le]++
+	}
+	for le := int64(1); ; le *= 2 {
+		if n, ok := buckets[le]; ok {
+			h.Buckets = append(h.Buckets, Bucket{Le: le, N: n})
+		}
+		if le >= h.Max {
+			break
+		}
+	}
+	return h
+}
+
+// Metrics is the exported registry: named counters and histograms. The
+// JSON form is deterministic — encoding/json sorts map keys — so metrics
+// files are directly diffable and golden-testable.
+type Metrics struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// DroppedEvents counts trace events past the buffer bound; counters
+	// above include them, histograms (built from the trace) do not.
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
+}
+
+// JSON renders the metrics with stable formatting.
+func (m *Metrics) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Metrics builds the registry snapshot: event-kind counters,
+// per-mechanism dispatch counts, per-opcode-class instruction counts
+// (when machine counters were recorded), and the histograms derived from
+// the trace — cut depth from the shadow-stack replay, unwind chain
+// length from the dispatcher end events.
+func (o *Observer) Metrics() *Metrics {
+	c := map[string]int64{
+		"calls":               o.counts[KCall],
+		"returns":             o.counts[KReturn],
+		"alt_returns":         o.counts[KAltReturn],
+		"cuts":                o.counts[KCutTo],
+		"yields":              o.counts[KYield],
+		"foreign_calls":       o.counts[KForeign],
+		"unwind_steps":        o.counts[KUnwindStep],
+		"descriptor_lookups":  o.counts[KDescLookup],
+		"resume_cut":          o.counts[KResumeCut],
+		"resume_unwind":       o.counts[KResumeUnwind],
+		"resume_return":       o.counts[KResumeReturn],
+		"dispatches":          o.counts[KDispatch],
+		"setjmp_copies":       o.counts[KSetjmpCopy],
+		"setjmp_bytes_copied": o.setjmpBytes,
+		"dispatch_unwind":     o.dispatch[MechUnwind],
+		"dispatch_exnstack":   o.dispatch[MechExnStack],
+		"dispatch_register":   o.dispatch[MechRegister],
+	}
+	if o.haveMC {
+		mc := o.mc
+		c["sim_cycles"] = mc.Cycles
+		c["sim_instrs"] = mc.Instrs
+		c["instr_load"] = mc.Loads
+		c["instr_store"] = mc.Stores
+		c["instr_branch"] = mc.Branches
+		c["instr_call"] = mc.Calls
+		c["instr_yield"] = mc.Yields
+		c["instr_alu_other"] = mc.Instrs - mc.Loads - mc.Stores - mc.Branches - mc.Calls - mc.Yields
+	}
+
+	var cutDepths, chainLens []int64
+	var sim stackSim
+	for _, ev := range o.Trace {
+		popped, _ := sim.apply(ev)
+		switch ev.Kind {
+		case KCutTo, KResumeCut:
+			cutDepths = append(cutDepths, int64(popped))
+		case KDispatchEnd:
+			if ev.A == MechUnwind {
+				chainLens = append(chainLens, int64(ev.B))
+			}
+		}
+	}
+	h := map[string]HistogramSnapshot{}
+	if len(cutDepths) > 0 {
+		h["cut_depth"] = snapshotHistogram(cutDepths)
+	}
+	if len(chainLens) > 0 {
+		h["unwind_chain_len"] = snapshotHistogram(chainLens)
+	}
+	return &Metrics{Counters: c, Histograms: h, DroppedEvents: o.Dropped}
+}

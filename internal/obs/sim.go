@@ -1,0 +1,54 @@
+package obs
+
+// stackSim replays an event stream into a shadow activation stack. The
+// profiler, the Chrome exporter, and the cut-depth histogram all share
+// it, so every consumer agrees on frame boundaries.
+//
+// Frames are pushed by KCall and popped by the stack-pointer rule: a
+// control transfer that lands with stack pointer S discards every shadow
+// frame whose recorded call-site stack pointer is <= S. The rule works
+// because the simulated stack grows downward and a frame's call sites
+// all record the frame's own base: a normal return pops exactly one
+// frame, a tail-call chain collapses in one event, and a cut (whose
+// event carries the continuation's sp) pops exactly the activations the
+// cut discards — which is how cut depth is measured without charging the
+// constant-time cut for a walk it never does.
+type simFrame struct {
+	proc  int32 // callee entry code index
+	sp    uint64
+	enter int64 // Ts when pushed
+}
+
+type stackSim struct {
+	frames []simFrame
+}
+
+// apply advances the simulation by one event. It returns the number of
+// frames popped and whether the event pushed a frame.
+func (s *stackSim) apply(ev Event) (popped int, pushed bool) {
+	switch ev.Kind {
+	case KCall:
+		s.frames = append(s.frames, simFrame{proc: int32(ev.A), sp: ev.SP, enter: ev.Ts})
+		return 0, true
+	case KReturn, KAltReturn, KCutTo, KResumeCut, KResumeUnwind, KResumeReturn:
+		n := len(s.frames)
+		for n > 0 && s.frames[n-1].sp <= ev.SP {
+			n--
+		}
+		popped = len(s.frames) - n
+		s.frames = s.frames[:n]
+		return popped, false
+	}
+	return 0, false
+}
+
+// depth reports the current shadow-stack depth.
+func (s *stackSim) depth() int { return len(s.frames) }
+
+// top returns the innermost frame.
+func (s *stackSim) top() (simFrame, bool) {
+	if len(s.frames) == 0 {
+		return simFrame{}, false
+	}
+	return s.frames[len(s.frames)-1], true
+}

@@ -34,6 +34,7 @@ import (
 	"cmm/internal/dataflow"
 	"cmm/internal/diag"
 	"cmm/internal/machine"
+	"cmm/internal/obs"
 	"cmm/internal/opt"
 	"cmm/internal/syntax"
 )
@@ -114,6 +115,10 @@ type PassStat struct {
 	Procs    int
 	IRBefore int
 	IRAfter  int
+	// Start is the host time at which the pass began; it anchors the pass
+	// on a shared trace timeline. Zero for stats recorded directly via
+	// Record (ObserveInto then synthesizes back-to-back offsets).
+	Start time.Time
 }
 
 func (s PassStat) String() string {
@@ -209,6 +214,40 @@ func (s *Session) Record(stat PassStat) { s.stats = append(s.stats, stat) }
 // notes) to the session's list.
 func (s *Session) AddDiagnostics(ds diag.List) { s.diags = append(s.diags, ds...) }
 
+// ObserveInto feeds the session's per-pass stats to an observability
+// sink as compile spans, so compile passes and the simulated run share
+// one Chrome trace. Spans are placed relative to the first pass's start;
+// stats recorded without a Start time (via Record) are laid end to end
+// after the last anchored pass.
+func (s *Session) ObserveInto(o *obs.Observer) {
+	if o == nil || len(s.stats) == 0 {
+		return
+	}
+	var epoch time.Time
+	for _, st := range s.stats {
+		if !st.Start.IsZero() && (epoch.IsZero() || st.Start.Before(epoch)) {
+			epoch = st.Start
+		}
+	}
+	var cursor int64 // synthetic offset for unanchored stats
+	for _, st := range s.stats {
+		dur := st.Wall.Microseconds()
+		if dur < 1 {
+			dur = 1
+		}
+		var start int64
+		if !st.Start.IsZero() && !epoch.IsZero() {
+			start = st.Start.Sub(epoch).Microseconds()
+		} else {
+			start = cursor
+		}
+		if end := start + dur; end > cursor {
+			cursor = end
+		}
+		o.AddSpan(obs.Span{Name: st.Name, Start: start, Dur: dur})
+	}
+}
+
 // Stats returns per-pass wall time and IR-size deltas for every pass
 // that has run, in execution order.
 func (s *Session) Stats() []PassStat { return append([]PassStat{}, s.stats...) }
@@ -271,7 +310,7 @@ func (s *Session) irNodes() int {
 func (s *Session) timePass(name string, procs int, before int, after func() int, fn func() error) error {
 	start := time.Now()
 	err := fn()
-	stat := PassStat{Name: name, Wall: time.Since(start), Procs: procs, IRBefore: before}
+	stat := PassStat{Name: name, Wall: time.Since(start), Procs: procs, IRBefore: before, Start: start}
 	if err == nil {
 		stat.IRAfter = after()
 	} else {

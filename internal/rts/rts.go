@@ -10,6 +10,7 @@
 package rts
 
 import (
+	"cmm/internal/obs"
 	"cmm/internal/sem"
 	"cmm/internal/vm"
 )
@@ -40,6 +41,11 @@ type Thread interface {
 	StoreWord(addr, v uint64, size int) error
 	GlobalWord(name string) (uint64, bool)
 	SetGlobalWord(name string, v uint64)
+
+	// Observer returns the observability sink attached to the execution,
+	// or nil. Run-time systems use it to record dispatch-level events on
+	// the same timeline as the machine's.
+	Observer() *obs.Observer
 }
 
 // Activation is one abstract activation on the thread's stack.
@@ -82,6 +88,7 @@ func (s SemThread) LoadWord(a uint64, sz int) (uint64, error) { return s.M.Load(
 func (s SemThread) StoreWord(a, v uint64, sz int) error       { return s.M.Store(a, v, sz) }
 func (s SemThread) GlobalWord(name string) (uint64, bool)     { return s.M.GlobalWord(name) }
 func (s SemThread) SetGlobalWord(name string, v uint64)       { s.M.SetGlobalWord(name, v) }
+func (s SemThread) Observer() *obs.Observer                   { return s.M.Observer() }
 
 func (x semAct) NextActivation() (Activation, bool) {
 	a, ok := x.a.NextActivation()
@@ -120,6 +127,7 @@ func (s VMThread) LoadWord(a uint64, sz int) (uint64, error) { return s.T.LoadWo
 func (s VMThread) StoreWord(a, v uint64, sz int) error       { return s.T.StoreWord(a, v, sz) }
 func (s VMThread) GlobalWord(name string) (uint64, bool)     { return s.T.GlobalWord(name) }
 func (s VMThread) SetGlobalWord(name string, v uint64)       { s.T.SetGlobalWord(name, v) }
+func (s VMThread) Observer() *obs.Observer                   { return s.T.Observer() }
 
 func (x vmAct) NextActivation() (Activation, bool) {
 	a, ok := x.a.NextActivation()

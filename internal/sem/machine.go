@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"cmm/internal/cfg"
+	"cmm/internal/obs"
 	"cmm/internal/syntax"
 )
 
@@ -62,6 +63,8 @@ type Machine struct {
 	results []Value
 
 	pending *resumption // set by the Table 1 interface during a yield
+
+	obs *obs.Observer // optional observability sink (nil when disabled)
 }
 
 // Option configures a Machine.
@@ -80,6 +83,53 @@ func WithForeign(name string, f ForeignFunc) Option {
 
 // WithMaxSteps bounds the number of transitions.
 func WithMaxSteps(n int64) Option { return func(m *Machine) { m.MaxSteps = n } }
+
+// WithObserver attaches an observability sink. The abstract machine has
+// no cycle model, so events are stamped with the transition count; the
+// run-time-interface and dispatcher events still appear, which is what
+// makes interp traces comparable in shape to compiled ones.
+func WithObserver(o *obs.Observer) Option {
+	return func(m *Machine) {
+		m.obs = o
+		o.Clock = func() (int64, int64) { return m.Steps, m.Steps }
+		o.ProcName = func(pc int) string {
+			if v, ok := m.handles[uint64(pc)]; ok && (v.Kind == KCode || v.Kind == KForeign) {
+				return v.Name
+			}
+			return ""
+		}
+	}
+}
+
+// semSPBase anchors the synthetic stack pointer the abstract machine
+// reports in events. It has no memory stack, but the observer's
+// frame-tracking pop rule ("pop while top.sp <= event.sp", stacks grow
+// down) needs a descending coordinate: we use base minus the suspended-
+// activation count, so deeper activations get smaller values exactly as
+// real frame pointers would.
+const semSPBase = uint64(1) << 32
+
+func (m *Machine) semSP(depth int) uint64 { return semSPBase - uint64(depth) }
+
+// Observer returns the attached observability sink, or nil.
+func (m *Machine) Observer() *obs.Observer { return m.obs }
+
+// emitObs records a run-time-interface event stamped with the current
+// transition count.
+func (m *Machine) emitObs(k obs.Kind, a, b uint64) {
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: k, Ts: m.Steps, Instr: m.Steps, PC: -1, A: a, B: b})
+	}
+}
+
+// emitCtl records a control-transfer event (call, return, cut, yield)
+// carrying the synthetic stack pointer, so traces from the abstract
+// machine reconstruct call stacks the same way compiled ones do.
+func (m *Machine) emitCtl(k obs.Kind, sp, a, b uint64) {
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: k, Ts: m.Steps, Instr: m.Steps, PC: -1, SP: sp, A: a, B: b})
+	}
+}
 
 // New creates a machine for prog, loads its data image, and initializes
 // global registers.
@@ -193,6 +243,7 @@ func (m *Machine) Run(proc string, args ...uint64) ([]Value, error) {
 	m.halted = false
 	m.results = nil
 	m.runStart = m.Steps
+	m.emitCtl(obs.KCall, m.semSP(0), v.Bits, 0)
 	for !m.halted {
 		if err := m.Step(); err != nil {
 			return nil, err
@@ -369,6 +420,7 @@ func (m *Machine) call(n *cfg.Node) error {
 			Bundle: n.Bundle, Env: m.env, Saved: m.saved, UID: m.uid,
 			Graph: m.cur, Site: n,
 		})
+		m.emitCtl(obs.KCall, m.semSP(len(m.stack)), callee.Bits, 0)
 		m.ctrl = callee.Node
 		m.cur = m.graphOf[callee.Node]
 		m.env = map[string]Value{}
@@ -380,6 +432,7 @@ func (m *Machine) call(n *cfg.Node) error {
 		if !ok {
 			return m.wrongf("imported procedure %s has no implementation", callee.Name)
 		}
+		m.emitCtl(obs.KForeign, m.semSP(len(m.stack)), callee.Bits, 0)
 		results, err := f(m, m.A)
 		if err != nil {
 			return err
@@ -397,6 +450,10 @@ func (m *Machine) jump(callee Value) error {
 	callee = m.valueOfWord(callee.Bits)
 	switch callee.Kind {
 	case KCode:
+		// A tail call replaces the running activation: the event carries
+		// the same synthetic sp, so the observer's pop rule collapses both
+		// when the callee eventually returns.
+		m.emitCtl(obs.KCall, m.semSP(len(m.stack)), callee.Bits, 0)
 		m.ctrl = callee.Node
 		m.cur = m.graphOf[callee.Node]
 		m.env = map[string]Value{}
@@ -408,6 +465,7 @@ func (m *Machine) jump(callee Value) error {
 		if !ok {
 			return m.wrongf("imported procedure %s has no implementation", callee.Name)
 		}
+		m.emitCtl(obs.KForeign, m.semSP(len(m.stack)), callee.Bits, 0)
 		results, err := f(m, m.A)
 		if err != nil {
 			return err
@@ -423,7 +481,9 @@ func (m *Machine) exit(n *cfg.Node) error {
 	if len(m.stack) == 0 {
 		if n.RetIndex == 0 && n.RetArity == 0 {
 			// Terminated normally: control is Exit 0 0 and the stack is
-			// empty.
+			// empty. The return event closes the entry activation, giving
+			// profiles their end-of-run timestamp.
+			m.emitCtl(obs.KReturn, m.semSP(0), 0, 0)
 			m.halted = true
 			m.results = m.A
 			return nil
@@ -436,6 +496,11 @@ func (m *Machine) exit(n *cfg.Node) error {
 // returnTo pops a frame and transfers to return continuation j of a call
 // site that must have exactly n alternate return continuations.
 func (m *Machine) returnTo(j, n int) error {
+	if n > 0 && j < n {
+		m.emitCtl(obs.KAltReturn, m.semSP(len(m.stack)), uint64(j), uint64(n))
+	} else {
+		m.emitCtl(obs.KReturn, m.semSP(len(m.stack)), uint64(j), 0)
+	}
 	fr := m.stack[len(m.stack)-1]
 	m.stack = m.stack[:len(m.stack)-1]
 	if fr.Bundle.AlternateCount() != n {
@@ -463,6 +528,7 @@ func (m *Machine) cutTo(target Value, ownBundle *cfg.Bundle) error {
 		if ownBundle == nil || !containsNode(ownBundle.Cuts, target.Node) {
 			return m.wrongf("cut to continuation in the same activation without also cuts to")
 		}
+		m.emitCtl(obs.KCutTo, m.semSP(len(m.stack)+1), target.Bits, 0)
 		m.ctrl = target.Node
 		return nil
 	}
@@ -489,6 +555,9 @@ func (m *Machine) cutTo(target Value, ownBundle *cfg.Bundle) error {
 			m.saved = map[string]bool{}
 			m.uid = fr.UID
 			m.cur = fr.Graph
+			// sp one below the landing activation: the pop rule discards
+			// every activation the cut flew past, but not the landing one.
+			m.emitCtl(obs.KCutTo, m.semSP(len(m.stack)+1), target.Bits, 0)
 			return nil
 		}
 		if !fr.Bundle.Abort {
@@ -513,6 +582,11 @@ func (m *Machine) yield() error {
 	}
 	m.pending = newResumption()
 	args := m.A
+	var tag uint64
+	if len(args) > 0 {
+		tag = args[0].Bits
+	}
+	m.emitCtl(obs.KYield, m.semSP(len(m.stack)), tag, uint64(len(args)))
 	if err := m.RTS.Yield(m, args); err != nil {
 		return err
 	}

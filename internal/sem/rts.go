@@ -2,6 +2,7 @@ package sem
 
 import (
 	"cmm/internal/cfg"
+	"cmm/internal/obs"
 	"cmm/internal/syntax"
 )
 
@@ -56,6 +57,7 @@ func (a Activation) NextActivation() (Activation, bool) {
 	if a.index == 0 {
 		return Activation{}, false
 	}
+	a.m.emitObs(obs.KUnwindStep, uint64(len(a.m.stack)-a.index), 0)
 	return Activation{m: a.m, index: a.index - 1}, true
 }
 
@@ -78,6 +80,7 @@ func (a Activation) DescriptorCount() int {
 // activation's suspended call site: the address (or constant) the front
 // end attached. ok is false when there is no n'th descriptor.
 func (a Activation) GetDescriptor(n int) (uint64, bool) {
+	a.m.emitObs(obs.KDescLookup, uint64(n), 0)
 	b := a.m.stack[a.index].Bundle
 	if n < 0 || n >= len(b.Descriptors) {
 		return 0, false
@@ -251,6 +254,14 @@ func (m *Machine) Resume() error {
 	}
 	m.A = params
 	p.done = true
+	switch {
+	case p.unwindIdx >= 0:
+		m.emitObs(obs.KResumeUnwind, uint64(p.unwindIdx), 0)
+	case p.returnIdx >= 0:
+		m.emitObs(obs.KResumeReturn, uint64(p.returnIdx), 0)
+	default:
+		m.emitObs(obs.KResumeReturn, uint64(len(fr.Bundle.Returns)), 0)
+	}
 	return nil
 }
 
@@ -284,6 +295,7 @@ func (m *Machine) resumeCut(p *resumption) error {
 		return err
 	}
 	p.done = true
+	m.emitObs(obs.KResumeCut, p.cutK, 0)
 	return nil
 }
 

@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cmm/internal/codegen"
+	"cmm/internal/machine"
+	"cmm/internal/obs"
+	"cmm/internal/progen"
+)
+
+// The observability parity suite extends the engine-parity contract to
+// the event layer: with an observer attached, the reference stepper and
+// the fast threaded-code engine must emit IDENTICAL event streams —
+// same kinds, same simulated-cycle timestamps, same payloads — and
+// attaching an observer must not perturb the simulated counters at all.
+
+// runWithObserver runs proc on one engine with a fresh observer and
+// returns the observer plus the engine state.
+func runWithObserver(t *testing.T, cp *codegen.Program, e machine.Engine, proc string, args []uint64, opts ...Option) (*obs.Observer, engineState) {
+	t.Helper()
+	o := obs.New()
+	st := runOnEngine(t, cp, e, parityBudget, proc, args, append(opts, WithObserver(o))...)
+	return o, st
+}
+
+// diffEvents reports the first mismatch between two event streams.
+func diffEvents(t *testing.T, label string, ref, fast []obs.Event) {
+	t.Helper()
+	if reflect.DeepEqual(ref, fast) {
+		return
+	}
+	n := len(ref)
+	if len(fast) < n {
+		n = len(fast)
+	}
+	for i := 0; i < n; i++ {
+		if ref[i] != fast[i] {
+			t.Errorf("%s: event %d differs\nref:  %+v\nfast: %+v", label, i, ref[i], fast[i])
+			return
+		}
+	}
+	t.Errorf("%s: event count differs: ref %d, fast %d", label, len(ref), len(fast))
+}
+
+// TestObsEventStreamParityRandomSweep is the randomized differential
+// sweep at the event level: ≥25 seeds, exceptions on and off, several
+// inputs. Programs that trap (including on the instruction budget) must
+// have emitted identical prefixes.
+func TestObsEventStreamParityRandomSweep(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		for _, exc := range []bool{false, true} {
+			src := progen.Generate(int64(seed), progen.Config{Exceptions: exc})
+			cp := compile(t, src, codegen.Options{})
+			for _, arg := range []uint64{0, 7, 100} {
+				label := fmt.Sprintf("seed=%d/exc=%v/arg=%d", seed, exc, arg)
+				oRef, stRef := runWithObserver(t, cp, machine.EngineRef, "p0", []uint64{arg})
+				oFast, stFast := runWithObserver(t, cp, machine.EngineFast, "p0", []uint64{arg})
+				if stRef.err != stFast.err {
+					t.Fatalf("%s: trap mismatch: ref %q fast %q", label, stRef.err, stFast.err)
+				}
+				diffEvents(t, label, oRef.Trace, oFast.Trace)
+			}
+		}
+	}
+}
+
+// TestObsEventStreamParityDispatch covers the run-time-system path,
+// where the fast engine suspends mid-chunk: unwind-walking and
+// stack-cutting dispatchers must leave identical event streams,
+// including the walk and resume events emitted during the yield.
+func TestObsEventStreamParityDispatch(t *testing.T) {
+	unwind := compile(t, unwindParitySrc, codegen.Options{})
+	cut := compile(t, cutParitySrc, codegen.Options{})
+	for _, depth := range []uint64{0, 1, 4, 32} {
+		oRef, _ := runWithObserver(t, unwind, machine.EngineRef, "f", []uint64{depth}, WithRuntime(RuntimeFunc(unwindWalker)))
+		oFast, _ := runWithObserver(t, unwind, machine.EngineFast, "f", []uint64{depth}, WithRuntime(RuntimeFunc(unwindWalker)))
+		diffEvents(t, fmt.Sprintf("unwind depth=%d", depth), oRef.Trace, oFast.Trace)
+		if depth > 0 && oRef.Count(obs.KUnwindStep) == 0 {
+			t.Errorf("unwind depth=%d: no unwind-step events recorded", depth)
+		}
+
+		oRef, _ = runWithObserver(t, cut, machine.EngineRef, "f", []uint64{depth}, WithRuntime(RuntimeFunc(cutWalker)))
+		oFast, _ = runWithObserver(t, cut, machine.EngineFast, "f", []uint64{depth}, WithRuntime(RuntimeFunc(cutWalker)))
+		diffEvents(t, fmt.Sprintf("cut depth=%d", depth), oRef.Trace, oFast.Trace)
+		if oRef.Count(obs.KResumeCut) == 0 {
+			t.Errorf("cut depth=%d: no resume-cut event recorded", depth)
+		}
+	}
+}
+
+// TestObsDisabledPathBitIdentical enforces the disabled-path guarantee:
+// attaching an observer changes no simulated state. Results, counters,
+// registers, and memory must be bit-identical with and without one,
+// under both engines.
+func TestObsDisabledPathBitIdentical(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	check := func(label string, cp *codegen.Program, proc string, args []uint64, opts ...Option) {
+		t.Helper()
+		for _, e := range []machine.Engine{machine.EngineRef, machine.EngineFast} {
+			bare := runOnEngine(t, cp, e, parityBudget, proc, args, opts...)
+			_, observed := runWithObserver(t, cp, e, proc, args, opts...)
+			if bare.err != observed.err {
+				t.Errorf("%s engine=%v: trap changed with observer: %q vs %q", label, e, bare.err, observed.err)
+			}
+			if bare.stats != observed.stats {
+				t.Errorf("%s engine=%v: counters changed with observer\nbare:     %+v\nobserved: %+v",
+					label, e, bare.stats, observed.stats)
+			}
+			if bare.regs != observed.regs {
+				t.Errorf("%s engine=%v: registers changed with observer", label, e)
+			}
+		}
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(int64(seed), progen.Config{Exceptions: true})
+		cp := compile(t, src, codegen.Options{})
+		check(fmt.Sprintf("seed=%d", seed), cp, "p0", []uint64{7})
+	}
+	unwind := compile(t, unwindParitySrc, codegen.Options{})
+	check("unwind", unwind, "f", []uint64{8}, WithRuntime(RuntimeFunc(unwindWalker)))
+	cut := compile(t, cutParitySrc, codegen.Options{})
+	check("cut", cut, "f", []uint64{8}, WithRuntime(RuntimeFunc(cutWalker)))
+}

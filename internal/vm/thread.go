@@ -5,6 +5,7 @@ import (
 
 	"cmm/internal/codegen"
 	"cmm/internal/machine"
+	"cmm/internal/obs"
 )
 
 // Thread is the Table 1 view of the suspended C-- computation, valid
@@ -42,6 +43,22 @@ type Activation struct {
 // in a real implementation ("typically by interpreting tables deposited
 // by the back end"), so it must appear in the cost model.
 func (t *Thread) charge(cycles int64) { t.inst.M.Stats.Cycles += cycles }
+
+// Observer returns the instance's observability sink, or nil. The
+// machine is fully flushed during a yield, so events emitted here are
+// identical under both engines.
+func (t *Thread) Observer() *obs.Observer { return t.inst.obs }
+
+// emit records a run-time-interface event stamped with the current
+// (flushed) machine counters.
+func (t *Thread) emit(k obs.Kind, pc int32, sp, a, b uint64) {
+	o := t.inst.obs
+	if o == nil {
+		return
+	}
+	m := t.inst.M
+	o.Emit(obs.Event{Kind: k, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs, PC: pc, SP: sp, A: a, B: b})
+}
 
 // loadCharged reads memory, charging a load's cost.
 func (t *Thread) loadCharged(addr uint64, size int) (uint64, error) {
@@ -99,6 +116,7 @@ func (a Activation) NextActivation() (Activation, bool) {
 	}
 	next.pc = idx
 	next.sp = a.sp + uint64(pi.FrameSize)
+	a.t.emit(obs.KUnwindStep, int32(next.pc), next.sp, uint64(next.depth), 0)
 	return next, true
 }
 
@@ -124,6 +142,7 @@ func (a Activation) DescriptorCount() int {
 // GetDescriptor returns the n'th descriptor of the suspended call site.
 func (a Activation) GetDescriptor(n int) (uint64, bool) {
 	a.t.charge(walkOverhead / 2)
+	a.t.emit(obs.KDescLookup, int32(a.pc), a.sp, uint64(n), 0)
 	s := a.site()
 	if s == nil || n < 0 || n >= len(s.Descriptors) {
 		return 0, false
@@ -238,6 +257,7 @@ func (t *Thread) Resume() error {
 		m.Regs[machine.RSP] = sp
 		m.PC = idx
 		t.resumed = true
+		t.emit(obs.KResumeCut, int32(idx), sp, t.cutK, 0)
 		return nil
 	}
 	if t.target == nil {
@@ -302,5 +322,13 @@ func (t *Thread) Resume() error {
 	m.Regs[machine.RSP] = a.sp
 	m.PC = pc
 	t.resumed = true
+	switch {
+	case t.haveIdx && t.unwindIdx >= 0:
+		t.emit(obs.KResumeUnwind, int32(pc), a.sp, uint64(t.unwindIdx), 0)
+	case t.haveIdx && t.returnIdx >= 0:
+		t.emit(obs.KResumeReturn, int32(pc), a.sp, uint64(t.returnIdx), 0)
+	default:
+		t.emit(obs.KResumeReturn, int32(pc), a.sp, uint64(len(site.ReturnPCs)-1), 0)
+	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"cmm/internal/codegen"
 	"cmm/internal/machine"
+	"cmm/internal/obs"
 )
 
 // ForeignFunc implements an imported procedure. Arguments arrive in the
@@ -38,6 +39,7 @@ type Instance struct {
 	stubs     map[string]int // proc -> entry-stub pc (CALL proc; HALT)
 	stubStart int
 	stackTop  uint64
+	obs       *obs.Observer
 }
 
 // Option configures an Instance.
@@ -48,6 +50,7 @@ type config struct {
 	engine  machine.Engine
 	rts     RuntimeSystem
 	foreign map[string]ForeignFunc
+	obs     *obs.Observer
 }
 
 // WithMemSize sets the simulated memory size.
@@ -66,6 +69,13 @@ func WithForeign(name string, f ForeignFunc) Option {
 	return func(c *config) { c.foreign[name] = f }
 }
 
+// WithObserver attaches an observability sink: both engines emit
+// control-transfer events into it, and the run-time interface emits
+// walk, resume, and dispatch events. Attaching an observer changes no
+// simulated state — counters stay bit-identical (the parity suite
+// asserts this).
+func WithObserver(o *obs.Observer) Option { return func(c *config) { c.obs = o } }
+
 // NewInstance loads p onto a fresh machine.
 func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 	c := &config{memSize: 4 << 20, foreign: map[string]ForeignFunc{}}
@@ -76,6 +86,20 @@ func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 	m := machine.New(c.memSize)
 	m.Engine = c.engine
 	inst.M = m
+	if c.obs != nil {
+		inst.obs = c.obs
+		m.Obs = c.obs
+		c.obs.Clock = func() (int64, int64) { return m.Stats.Cycles, m.Stats.Instrs }
+		c.obs.ProcName = func(pc int) string {
+			if pi := p.ProcAt(pc); pi != nil {
+				return pi.Name
+			}
+			if pc >= inst.stubStart && pc < len(m.Code) {
+				return "[stub]"
+			}
+			return ""
+		}
+	}
 
 	// Code: program text plus one entry stub per procedure.
 	code := append([]machine.Instr{}, p.Code...)
@@ -189,3 +213,19 @@ func (inst *Instance) Stats() machine.Counters { return inst.M.Stats }
 
 // ResetStats zeroes the counters (between benchmark phases).
 func (inst *Instance) ResetStats() { inst.M.Stats = machine.Counters{} }
+
+// Observer returns the attached observability sink, or nil.
+func (inst *Instance) Observer() *obs.Observer { return inst.obs }
+
+// RecordObsCounters snapshots the machine counters into the attached
+// observer for the metrics export (a no-op without one).
+func (inst *Instance) RecordObsCounters() {
+	if inst.obs == nil {
+		return
+	}
+	s := inst.M.Stats
+	inst.obs.RecordMachineCounters(obs.MachineCounters{
+		Cycles: s.Cycles, Instrs: s.Instrs, Loads: s.Loads, Stores: s.Stores,
+		Branches: s.Branches, Calls: s.Calls, Yields: s.Yields,
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"cmm/internal/codegen"
 	"cmm/internal/dispatch"
 	"cmm/internal/machine"
+	"cmm/internal/obs"
 	"cmm/internal/rts"
 	"cmm/internal/sem"
 	"cmm/internal/vm"
@@ -66,12 +67,29 @@ const (
 	EngineRef = machine.EngineRef
 )
 
+// Observer is a structured event and metrics sink for one execution:
+// control-transfer and run-time-interface events on the simulated-cycle
+// timeline, named counters and histograms, and a simulated-cycle
+// profiler. Attach one with WithObserver. Attaching an observer never
+// changes simulated state: cost-model counters stay bit-identical, with
+// or without one, under either engine.
+//
+// Exports: Observer.Metrics().JSON(), Observer.WriteChromeTrace,
+// Observer.WriteTextTrace, Observer.Profile() (with Folded() for
+// flamegraph tools).
+type Observer = obs.Observer
+
+// NewObserver returns an empty observability sink ready to attach to an
+// Interp or a Machine.
+func NewObserver() *Observer { return obs.New() }
+
 // RunConfig configures an execution target.
 type RunConfig struct {
 	MemSize    int // simulated memory size; 0 means the default
 	Engine     Engine
 	Dispatcher Dispatcher
 	Foreigns   map[string]Foreign
+	Observer   *Observer
 }
 
 // RunOption configures Interp and Native.
@@ -87,6 +105,12 @@ func WithEngine(e Engine) RunOption { return func(c *RunConfig) { c.Engine = e }
 // WithDispatcher installs the front-end run-time system entered on
 // yields.
 func WithDispatcher(d Dispatcher) RunOption { return func(c *RunConfig) { c.Dispatcher = d } }
+
+// WithObserver attaches an observability sink to the execution. The
+// observer records typed events (calls, returns, cuts, unwind steps,
+// dispatches, ...) stamped with simulated cycles, plus counters and
+// histograms; it changes nothing about the simulated execution itself.
+func WithObserver(o *Observer) RunOption { return func(c *RunConfig) { c.Observer = o } }
 
 // WithForeign implements the imported procedure name in Go.
 func WithForeign(name string, f Foreign) RunOption {
@@ -115,6 +139,9 @@ func (m *Module) Interp(opts ...RunOption) (*Interp, error) {
 	semOpts := []sem.Option{sem.WithMaxSteps(500_000_000)}
 	if c.MemSize > 0 {
 		semOpts = append(semOpts, sem.WithMemSize(c.MemSize))
+	}
+	if c.Observer != nil {
+		semOpts = append(semOpts, sem.WithObserver(c.Observer))
 	}
 	if c.Dispatcher != nil {
 		d := c.Dispatcher
@@ -168,6 +195,11 @@ func (i *Interp) Run(proc string, args ...uint64) ([]uint64, error) {
 // Steps reports how many transitions the last runs took.
 func (i *Interp) Steps() int64 { return i.m.Steps }
 
+// Observer returns the attached observability sink, or nil. The abstract
+// machine has no cycle-level cost model, so its events are stamped with
+// transition counts (Steps) instead of simulated cycles.
+func (i *Interp) Observer() *Observer { return i.m.Observer() }
+
 // CompileConfig selects code-generation strategies (the paper's
 // ablations).
 type CompileConfig struct {
@@ -215,6 +247,9 @@ func (m *Module) Native(cc CompileConfig, opts ...RunOption) (*Machine, error) {
 	if c.MemSize > 0 {
 		vopts = append(vopts, vm.WithMemSize(c.MemSize))
 	}
+	if c.Observer != nil {
+		vopts = append(vopts, vm.WithObserver(c.Observer))
+	}
 	if c.Dispatcher != nil {
 		d := c.Dispatcher
 		vopts = append(vopts, vm.WithRuntime(vm.RuntimeFunc(
@@ -249,6 +284,14 @@ func (mc *Machine) Stats() Stats { return mc.inst.Stats() }
 
 // ResetStats zeroes the counters.
 func (mc *Machine) ResetStats() { mc.inst.ResetStats() }
+
+// Observer returns the attached observability sink, or nil.
+func (mc *Machine) Observer() *Observer { return mc.inst.Observer() }
+
+// RecordObsCounters snapshots the machine's cost-model counters into the
+// attached observer so they appear in the metrics export. Call it after
+// the runs of interest (a no-op without an observer).
+func (mc *Machine) RecordObsCounters() { mc.inst.RecordObsCounters() }
 
 // CodeSize reports the number of instructions generated for a procedure
 // (the Figures 3/4 space comparison).
