@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"cmm"
+	"cmm/internal/diag"
 )
 
 var (
@@ -42,6 +43,8 @@ var (
 	workers   = flag.Int("workers", 0, "procedure-level parallelism (0: NumCPU, 1: serial); output is identical for every value")
 	minim3Pol = flag.String("minim3", "", "treat the input as MiniM3 under this exception policy: cutting, unwinding, or native")
 	diags     = flag.Bool("diags", false, "print structured diagnostics (notes included) after compiling")
+	vet       = flag.Bool("vet", false, "run the §4 well-formedness verifier; verifier errors fail the load (see VERIFIER.md)")
+	vetStrict = flag.Bool("vet-strict", false, "with -vet, also flag provably useless annotations")
 )
 
 func main() {
@@ -60,7 +63,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lc := cmm.LoadConfig{File: file, Workers: *workers, DumpProc: *dumpProc}
+	lc := cmm.LoadConfig{File: file, Workers: *workers, DumpProc: *dumpProc,
+		Verify: *vet || *vetStrict, VerifyStrict: *vetStrict}
 	if *dumpAfter != "" {
 		lc.DumpAfter = strings.Split(*dumpAfter, ",")
 	}
@@ -191,7 +195,9 @@ func parseArgs(s string) []uint64 {
 	return out
 }
 
+// fatal renders err through the structured-diagnostic renderer — the
+// same severity/pass format the compiler uses — and exits non-zero.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cmmc:", err)
+	fmt.Fprintln(os.Stderr, diag.AsList(err, "cmmc").String())
 	os.Exit(1)
 }

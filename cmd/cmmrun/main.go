@@ -82,6 +82,7 @@ var (
 	profileOut  = flag.String("profile", "", "write a folded-stacks simulated-cycle profile to this file")
 	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile  = flag.String("memprofile", "", "write a heap profile after the run to this file")
+	vet         = flag.Bool("vet", false, "run the §4 well-formedness verifier before running; verifier errors fail the load (see VERIFIER.md)")
 )
 
 func main() {
@@ -99,7 +100,7 @@ func main() {
 	if err != nil {
 		fatal("load", err)
 	}
-	mod, err := cmm.LoadWith(string(src), cmm.LoadConfig{File: flag.Arg(0)})
+	mod, err := cmm.LoadWith(string(src), cmm.LoadConfig{File: flag.Arg(0), Verify: *vet})
 	if err != nil {
 		fatal("compile", err)
 	}

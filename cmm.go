@@ -70,6 +70,12 @@ type LoadConfig struct {
 	DumpAfter []string
 	// DumpProc restricts snapshots to one procedure (empty: all).
 	DumpProc string
+	// Verify runs the §4 well-formedness verifier during the load:
+	// verifier errors fail the load, verifier warnings appear in
+	// Module.Diagnostics (pass "verify"). See VERIFIER.md.
+	Verify bool
+	// VerifyStrict additionally flags provably useless annotations.
+	VerifyStrict bool
 }
 
 // Load parses, checks, and translates C-- source into Abstract C--.
@@ -79,7 +85,8 @@ func Load(src string) (*Module, error) {
 
 // LoadWith is Load with configuration.
 func LoadWith(src string, lc LoadConfig) (*Module, error) {
-	pc := pipeline.Config{File: lc.File, Workers: lc.Workers, DumpAfter: lc.DumpAfter, DumpProc: lc.DumpProc}
+	pc := pipeline.Config{File: lc.File, Workers: lc.Workers, DumpAfter: lc.DumpAfter, DumpProc: lc.DumpProc,
+		Verify: lc.Verify, VerifyStrict: lc.VerifyStrict}
 	if err := pc.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,7 +106,8 @@ func LoadMiniM3(src string, policy ExceptionPolicy) (*Module, error) {
 
 // LoadMiniM3With is LoadMiniM3 with configuration.
 func LoadMiniM3With(src string, policy ExceptionPolicy, lc LoadConfig) (*Module, error) {
-	pc := pipeline.Config{File: lc.File, Workers: lc.Workers, DumpAfter: lc.DumpAfter, DumpProc: lc.DumpProc}
+	pc := pipeline.Config{File: lc.File, Workers: lc.Workers, DumpAfter: lc.DumpAfter, DumpProc: lc.DumpProc,
+		Verify: lc.Verify, VerifyStrict: lc.VerifyStrict}
 	if err := pc.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,6 +134,27 @@ func FormatPassStats(stats []PassStat) string { return pipeline.FormatStats(stat
 // Diagnostics returns every structured message the passes produced,
 // notes included.
 func (m *Module) Diagnostics() Diagnostics { return m.sess.Diagnostics() }
+
+// Verify runs the §4 well-formedness verifier (see VERIFIER.md) over
+// the module and returns its findings — errors for conditions that make
+// a run-time trap reachable, warnings for imprecision — without failing
+// the module. strict additionally flags provably useless annotations.
+func (m *Module) Verify(strict bool) Diagnostics {
+	ds, _ := m.sess.Verify(strict) // Frontend already ran in Load; no error possible
+	return ds
+}
+
+// Verify loads C-- source and reports the §4 well-formedness verifier's
+// findings. The error is non-nil when the source does not load (parse,
+// check, or translate failure); verifier findings — including errors —
+// are returned in the list.
+func Verify(src string) (Diagnostics, error) {
+	m, err := Load(src)
+	if err != nil {
+		return nil, err
+	}
+	return m.Verify(false), nil
+}
 
 // ObserveCompile feeds the module's per-pass timings into an observer as
 // compile spans, so the compile pipeline and the simulated run land on

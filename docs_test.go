@@ -1,0 +1,218 @@
+package cmm_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cmm"
+)
+
+// The documentation suite: every code example embedded in the markdown
+// docs is real. Fences tagged `file=PATH` must be byte-identical to the
+// checked-in file (so the docs cannot rot away from the code); fences
+// tagged `docs=run` are shell lines executed verbatim from the repo
+// root; C-- examples under examples/docs/ are loaded, verified, and run.
+
+// docFiles are the markdown documents whose fenced examples are under
+// test. EXPERIMENTS.md holds measured output, not examples, and
+// CHANGES.md is a log; neither carries testable fences.
+var docFiles = []string{"README.md", "DESIGN.md", "VERIFIER.md"}
+
+// fence is one fenced code block: its info string split into the
+// language token and key=value attributes, plus the body.
+type fence struct {
+	doc   string
+	line  int // 1-based line of the opening ```
+	lang  string
+	attrs map[string]string
+	body  string
+}
+
+// fences extracts every fenced block from a markdown file.
+func fences(t *testing.T, doc string) []fence {
+	t.Helper()
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []fence
+	var cur *fence
+	var body []string
+	for i, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "```") {
+			if cur != nil {
+				body = append(body, line)
+			}
+			continue
+		}
+		if cur != nil { // closing fence
+			cur.body = strings.Join(body, "\n") + "\n"
+			out = append(out, *cur)
+			cur, body = nil, nil
+			continue
+		}
+		info := strings.Fields(strings.TrimPrefix(line, "```"))
+		cur = &fence{doc: doc, line: i + 1, attrs: map[string]string{}}
+		for j, tok := range info {
+			if j == 0 && !strings.Contains(tok, "=") {
+				cur.lang = tok
+				continue
+			}
+			if k, v, ok := strings.Cut(tok, "="); ok {
+				cur.attrs[k] = v
+			}
+		}
+	}
+	if cur != nil {
+		t.Fatalf("%s: unterminated fence opened at line %d", doc, cur.line)
+	}
+	return out
+}
+
+// TestDocsExamplesInSync: every fence tagged file=PATH is byte-identical
+// to that file. This is the anti-rot contract: editing the example in
+// the doc without the file (or vice versa) fails here.
+func TestDocsExamplesInSync(t *testing.T) {
+	tagged := 0
+	for _, doc := range docFiles {
+		for _, f := range fences(t, doc) {
+			path, ok := f.attrs["file"]
+			if !ok {
+				continue
+			}
+			tagged++
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("%s:%d references %s: %v", f.doc, f.line, path, err)
+				continue
+			}
+			if f.body != string(want) {
+				t.Errorf("%s:%d: fence is out of sync with %s\n--- doc fence ---\n%s--- %s ---\n%s",
+					f.doc, f.line, path, f.body, path, want)
+			}
+		}
+	}
+	// The suite covers the 11 VERIFIER.md corpus modules plus the
+	// quickstart and the two README C-- examples; a collapse in this
+	// count means the extraction convention broke, not the docs.
+	if tagged < 14 {
+		t.Errorf("only %d file-tagged fences found across %v; expected at least 14", tagged, docFiles)
+	}
+}
+
+// TestDocsCmmExamplesVerifyAndRun: the C-- examples extracted from the
+// docs into examples/docs/ load, pass the strict verifier, and compute
+// what the surrounding prose says they compute — including taking the
+// exceptional paths.
+func TestDocsCmmExamplesVerifyAndRun(t *testing.T) {
+	runs := map[string][]struct {
+		args []uint64
+		want uint64
+	}{
+		// g(0,…) cuts to k(1), the handler adds w = x+y: 1+(0+5) = 6;
+		// g(3,…) returns normally and f returns 0.
+		"examples/docs/weak_continuation.cmm": {{[]uint64{0, 5}, 6}, {[]uint64{3, 4}, 0}},
+		// x=5: %%divu(5,2)=2, return <0/1> lands in k4: 2+4 = 6;
+		// x=0: g cuts to k1(99): 99+1 = 100.
+		"examples/docs/annotations.cmm": {{[]uint64{5}, 6}, {[]uint64{0}, 100}},
+	}
+	files, err := filepath.Glob("examples/docs/*.cmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(runs) {
+		t.Errorf("examples/docs has %d .cmm files, run table has %d — keep them in step", len(files), len(runs))
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := cmm.LoadWith(string(src), cmm.LoadConfig{File: file})
+			if err != nil {
+				t.Fatalf("doc example does not load: %v", err)
+			}
+			if ds := mod.Verify(true); len(ds) != 0 {
+				t.Errorf("doc example is not verifier-clean:\n%s", ds)
+			}
+			in, err := mod.Interp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range runs[file] {
+				res, err := in.Run("f", r.args...)
+				if err != nil {
+					t.Fatalf("f(%v): %v", r.args, err)
+				}
+				if len(res) != 1 || res[0] != r.want {
+					t.Errorf("f(%v) = %v, the doc promises [%d]", r.args, res, r.want)
+				}
+			}
+		})
+	}
+}
+
+// TestDocsCommands executes every line of the fences tagged docs=run —
+// the README's "Command-line tools" block and the cmmvet demo — from
+// the repo root, exactly as a reader would paste them.
+func TestDocsCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("doc command lines build binaries")
+	}
+	ran := 0
+	for _, doc := range docFiles {
+		for _, f := range fences(t, doc) {
+			if f.attrs["docs"] != "run" {
+				continue
+			}
+			for _, line := range strings.Split(f.body, "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				ran++
+				out, err := exec.Command("sh", "-c", line).CombinedOutput()
+				if err != nil {
+					t.Errorf("%s:%d: `%s` failed: %v\n%s", f.doc, f.line, line, err, out)
+				}
+			}
+		}
+	}
+	if ran < 6 {
+		t.Errorf("only %d doc command lines executed; expected at least 6", ran)
+	}
+}
+
+// TestDocsLinks: every relative markdown link in the top-level docs
+// resolves to a file that exists (the docs-lint gate in CI).
+func TestDocsLinks(t *testing.T) {
+	link := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	mds, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range mds {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range link.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: broken link %s", doc, m[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Command quickstart is the README quickstart example, kept
+// byte-identical to the README fence by TestDocsExamplesInSync.
+package main
+
+import (
+	"fmt"
+
+	"cmm"
+)
+
+const src = `
+export sp3;
+sp3(bits32 n) {
+    bits32 s, p;
+    s = 1; p = 1;
+loop:
+    if n == 1 {
+        return (s, p);
+    } else {
+        s = s + n;
+        p = p * n;
+        n = n - 1;
+        goto loop;
+    }
+}
+`
+
+func main() {
+	mod, _ := cmm.Load(src) // parse, check, build Abstract C--
+	mod.Optimize()          // §6, exceptions need no special cases
+
+	in, _ := mod.Interp()          // the §5 operational semantics
+	fmt.Println(in.Run("sp3", 10)) // [55 3628800]
+
+	mach, _ := mod.Native(cmm.CompileConfig{}) // compile to the simulated machine
+	fmt.Println(mach.Run("sp3", 10))           // [55 3628800 ...]
+	fmt.Println(mach.Stats().Cycles)           // simulated cycles
+}

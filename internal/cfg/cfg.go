@@ -103,6 +103,15 @@ func (b *Bundle) NormalReturn() *Node { return b.Returns[len(b.Returns)-1] }
 // continuations, i.e. the n a callee must cite in return <m/n>.
 func (b *Bundle) AlternateCount() int { return len(b.Returns) - 1 }
 
+// HasExceptionalEdge reports whether the bundle declares any outcome
+// beyond a normal return: an alternate return continuation, an unwind or
+// cut target, or also aborts. A call site whose bundle has no
+// exceptional edge can only be resumed at its normal return continuation
+// (§4.4).
+func (b *Bundle) HasExceptionalEdge() bool {
+	return b.AlternateCount() > 0 || len(b.Unwinds) > 0 || len(b.Cuts) > 0 || b.Abort
+}
+
 // Node is one node of an Abstract C-- control-flow graph. Which fields
 // are meaningful depends on Kind; see Table 2.
 type Node struct {

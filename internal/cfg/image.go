@@ -161,42 +161,43 @@ func (img *Image) End() uint64 { return img.Base + uint64(len(img.Bytes)) }
 // made unreachable by later rewrites. Most callers want Nodes.
 func (g *Graph) AllNodes() []*Node { return g.nodes }
 
+// WalkExpr calls f for e and every subexpression of e.
+func WalkExpr(e syntax.Expr, f func(syntax.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *syntax.MemExpr:
+		WalkExpr(e.Addr, f)
+	case *syntax.UnExpr:
+		WalkExpr(e.X, f)
+	case *syntax.BinExpr:
+		WalkExpr(e.X, f)
+		WalkExpr(e.Y, f)
+	case *syntax.PrimExpr:
+		for _, a := range e.Args {
+			WalkExpr(a, f)
+		}
+	}
+}
+
 // WalkNodeExprs calls f for every expression appearing in n, including
 // subexpressions.
 func WalkNodeExprs(n *Node, f func(syntax.Expr)) {
-	var walk func(e syntax.Expr)
-	walk = func(e syntax.Expr) {
-		if e == nil {
-			return
-		}
-		f(e)
-		switch e := e.(type) {
-		case *syntax.MemExpr:
-			walk(e.Addr)
-		case *syntax.UnExpr:
-			walk(e.X)
-		case *syntax.BinExpr:
-			walk(e.X)
-			walk(e.Y)
-		case *syntax.PrimExpr:
-			for _, a := range e.Args {
-				walk(a)
-			}
-		}
-	}
 	for _, e := range n.Exprs {
-		walk(e)
+		WalkExpr(e, f)
 	}
 	if n.LHSMem != nil {
-		walk(n.LHSMem)
+		WalkExpr(n.LHSMem, f)
 	}
-	walk(n.RHS)
-	walk(n.Cond)
-	walk(n.Callee)
-	walk(n.Target)
+	WalkExpr(n.RHS, f)
+	WalkExpr(n.Cond, f)
+	WalkExpr(n.Callee, f)
+	WalkExpr(n.Target, f)
 	if n.Bundle != nil {
 		for _, d := range n.Bundle.Descriptors {
-			walk(d)
+			WalkExpr(d, f)
 		}
 	}
 }

@@ -65,6 +65,11 @@ func Errorf(pass, file string, line, col int, format string, args ...any) *Diagn
 	return New(SevError, pass, file, line, col, format, args...)
 }
 
+// Warningf constructs a warning-severity diagnostic.
+func Warningf(pass, file string, line, col int, format string, args ...any) *Diagnostic {
+	return New(SevWarning, pass, file, line, col, format, args...)
+}
+
 // Span renders the file:line:col prefix; it omits the file when empty
 // and the whole span when there is no position.
 func (d *Diagnostic) Span() string {
@@ -127,6 +132,17 @@ func (l List) Errors() List {
 	var out List
 	for _, d := range l {
 		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings returns only the warning-severity diagnostics.
+func (l List) Warnings() List {
+	var out List
+	for _, d := range l {
+		if d.Severity == SevWarning {
 			out = append(out, d)
 		}
 	}

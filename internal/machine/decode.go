@@ -24,6 +24,7 @@
 // re-check the budget between their halves, so a runaway program traps
 // at the same instruction, with the same PC, as under the reference
 // engine.
+
 package machine
 
 // Dense opcodes for the fast engine. Plain ops mirror Op; the f*-fused

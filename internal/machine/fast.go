@@ -8,6 +8,7 @@
 // every Counters field match the reference engine after any run,
 // including the partial counter state visible to run-time systems during
 // a yield and the machine state left behind by a trap.
+
 package machine
 
 import (

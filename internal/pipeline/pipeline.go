@@ -37,6 +37,7 @@ import (
 	"cmm/internal/obs"
 	"cmm/internal/opt"
 	"cmm/internal/syntax"
+	"cmm/internal/verify"
 )
 
 // Pass names, in pipeline order. "liveness" may appear twice in a
@@ -46,6 +47,7 @@ const (
 	PassParse     = "parse"
 	PassCheck     = "check"
 	PassTranslate = "translate"
+	PassVerify    = "verify"
 	PassLiveness  = "liveness"
 	PassOpt       = "opt"
 	PassCodegen   = "codegen"
@@ -66,6 +68,7 @@ var passTable = []passDef{
 	{Name: PassParse, Reads: []string{"source"}, Invalidates: []string{"ast", "types", "cfg", PassLiveness, "code"}},
 	{Name: PassCheck, Reads: []string{"ast"}, Invalidates: []string{"types"}},
 	{Name: PassTranslate, Reads: []string{"ast", "types"}, Invalidates: []string{"cfg", PassLiveness}},
+	{Name: PassVerify, Reads: []string{"cfg", "types"}},
 	{Name: PassLiveness, PerProc: true, Reads: []string{"cfg"}},
 	{Name: PassOpt, PerProc: true, Reads: []string{"cfg", "types", PassLiveness}, Invalidates: []string{PassLiveness}},
 	{Name: PassCodegen, PerProc: true, Reads: []string{"cfg", "types", PassLiveness}},
@@ -151,6 +154,13 @@ type Config struct {
 	DumpAfter []string
 	// DumpProc restricts snapshots to one procedure (empty: all).
 	DumpProc string
+	// Verify runs the well-formedness verifier (internal/verify) as part
+	// of Frontend: verifier errors fail the load, verifier warnings are
+	// appended to the session's diagnostics.
+	Verify bool
+	// VerifyStrict additionally reports provably useless annotations
+	// (implies nothing unless Verify is set or Session.Verify is called).
+	VerifyStrict bool
 }
 
 // Validate reports an error naming the available passes if DumpAfter
@@ -433,7 +443,36 @@ func (s *Session) Frontend() error {
 	}
 	s.snapshotGraphs(PassTranslate)
 
+	if s.cfg.Verify {
+		var vds diag.List
+		s.timePass(PassVerify, 0, s.irNodes(), s.irNodes, func() error {
+			vds = verify.Run(s.prog, verify.Options{Strict: s.cfg.VerifyStrict})
+			return nil
+		})
+		if vds.HasErrors() {
+			s.diags = append(s.diags, vds...)
+			return s.diags.Errors()
+		}
+		s.diags = append(s.diags, vds...)
+	}
+
 	return s.ensureLiveness()
+}
+
+// Verify runs the well-formedness verifier over the translated program
+// and returns its findings without failing the session (unlike
+// Config.Verify, which makes verifier errors fail Frontend). The
+// returned diagnostics are not added to the session's list.
+func (s *Session) Verify(strict bool) (diag.List, error) {
+	if err := s.Frontend(); err != nil {
+		return nil, err
+	}
+	var vds diag.List
+	s.timePass(PassVerify, 0, s.irNodes(), s.irNodes, func() error {
+		vds = verify.Run(s.prog, verify.Options{Strict: strict})
+		return nil
+	})
+	return vds, nil
 }
 
 // ensureLiveness recomputes the cached liveness analysis when a

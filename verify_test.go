@@ -1,0 +1,465 @@
+package cmm_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmm"
+	"cmm/internal/progen"
+)
+
+// loadVerify loads one of the testdata/verify modules and returns the
+// verifier's findings.
+func loadVerify(t *testing.T, file string, strict bool) cmm.Diagnostics {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := cmm.LoadWith(string(src), cmm.LoadConfig{File: file})
+	if err != nil {
+		t.Fatalf("%s does not load: %v", file, err)
+	}
+	return mod.Verify(strict)
+}
+
+// TestVerifyGoldenCorpus pins the exact diagnostics for every module in
+// testdata/verify/ — one deliberately ill-formed module per verifier
+// check (VERIFIER.md documents each). The golden strings are the full
+// structured rendering: span, severity, pass, message.
+func TestVerifyGoldenCorpus(t *testing.T) {
+	cases := []struct {
+		file   string
+		strict bool
+		want   []string
+	}{
+		{file: "cut_unannotated.cmm", want: []string{
+			`testdata/verify/cut_unannotated.cmm:4:5: error: [verify] cut to k in the same activation without "also cuts to k" (§4.2); the semantics traps here`,
+		}},
+		{file: "call_missing_cuts.cmm", want: []string{
+			`testdata/verify/call_missing_cuts.cmm:4:5: error: [verify] call to raiser, which may cut to an outer activation, has neither "also cuts to" nor "also aborts" (§4.4)`,
+		}},
+		{file: "call_missing_abort.cmm", want: []string{
+			`testdata/verify/call_missing_abort.cmm:11:5: error: [verify] call to raiser, which may cut to an outer activation, has neither "also cuts to" nor "also aborts" (§4.4)`,
+		}},
+		{file: "return_continuation.cmm", want: []string{
+			`testdata/verify/return_continuation.cmm:4:5: error: [verify] continuation k is returned, but it dies when f's activation is deallocated (§4.1)`,
+		}},
+		{file: "jump_continuation.cmm", want: []string{
+			`testdata/verify/jump_continuation.cmm:4:5: error: [verify] continuation k is passed to a tail call, but it dies when f's activation is deallocated (§4.1)`,
+		}},
+		{file: "arity_mismatch.cmm", want: []string{
+			`testdata/verify/arity_mismatch.cmm:4:5: error: [verify] callee g returns <m/1> but the call site has 0 alternate return continuations`,
+		}},
+		{file: "foreign_alternate.cmm", want: []string{
+			`testdata/verify/foreign_alternate.cmm:5:5: error: [verify] foreign callee print always returns normally (<0/0>) but the call site has 1 alternate return continuations`,
+		}},
+		{file: "yield_unannotated.cmm", want: []string{
+			`testdata/verify/yield_unannotated.cmm:4:5: warning: [verify] call to g may enter the run-time system (yield) but the site has no exceptional annotation; a dispatcher can only resume it normally`,
+			`testdata/verify/yield_unannotated.cmm:9:5: warning: [verify] call to .solid.divu.w32 may enter the run-time system (yield) but the site has no exceptional annotation; a dispatcher can only resume it normally`,
+		}},
+		{file: "never_returns.cmm", strict: true, want: []string{
+			`testdata/verify/never_returns.cmm:4:5: warning: [verify] callee noret never returns normally; code at this call's normal return continuation is unreachable`,
+			`testdata/verify/never_returns.cmm:4:5: warning: [verify] useless annotation: callee noret can neither cut nor yield`,
+		}},
+		{file: "cont_escapes_global.cmm", want: []string{
+			`testdata/verify/cont_escapes_global.cmm:5:5: warning: [verify] continuation k escapes into global gk; the value is dead once f's activation returns (§4.1)`,
+		}},
+		{file: "useless_annotation.cmm", strict: true, want: []string{
+			`testdata/verify/useless_annotation.cmm:4:5: warning: [verify] useless annotation: callee g can neither cut nor yield`,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			ds := loadVerify(t, filepath.Join("testdata", "verify", tc.file), tc.strict)
+			var got []string
+			for _, d := range ds {
+				got = append(got, d.String())
+			}
+			if strings.Join(got, "\n") != strings.Join(tc.want, "\n") {
+				t.Errorf("diagnostics mismatch\n got:\n%s\nwant:\n%s",
+					strings.Join(got, "\n"), strings.Join(tc.want, "\n"))
+			}
+		})
+	}
+}
+
+// TestVerifyFailsLoad: with LoadConfig.Verify set, verifier errors fail
+// the load itself (pipeline pass "verify"), while warnings surface in
+// Module.Diagnostics without failing it.
+func TestVerifyFailsLoad(t *testing.T) {
+	src, err := os.ReadFile("testdata/verify/arity_mismatch.cmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cmm.LoadWith(string(src), cmm.LoadConfig{File: "arity.cmm", Verify: true})
+	ds := asDiagnostics(t, err)
+	if !strings.Contains(ds.String(), "[verify]") {
+		t.Errorf("load failure not attributed to the verify pass: %v", ds)
+	}
+
+	warnSrc, err := os.ReadFile("testdata/verify/cont_escapes_global.cmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := cmm.LoadWith(string(warnSrc), cmm.LoadConfig{File: "warn.cmm", Verify: true})
+	if err != nil {
+		t.Fatalf("warnings must not fail a verified load: %v", err)
+	}
+	if ws := mod.Diagnostics().ByPass("verify").Warnings(); len(ws) != 1 {
+		t.Errorf("want the verifier warning in module diagnostics, got %v", mod.Diagnostics())
+	}
+}
+
+// TestVerifyCleanSeeds: the seed corpus verifies cleanly — figure1 with
+// no findings at all, and the MiniM3 game under all three policies with
+// no errors (the cutting policy's exception-stack stores are the two
+// expected §4.1 escape warnings).
+func TestVerifyCleanSeeds(t *testing.T) {
+	src, err := os.ReadFile("testdata/figure1.cmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := cmm.Verify(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("figure1.cmm is not clean:\n%s", ds)
+	}
+
+	game, err := os.ReadFile("testdata/game.m3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []struct {
+		name   string
+		policy cmm.ExceptionPolicy
+		warns  int
+	}{
+		{"cutting", cmm.StackCutting, 2},
+		{"unwinding", cmm.RuntimeUnwinding, 0},
+		{"native", cmm.NativeUnwinding, 0},
+	} {
+		t.Run(pol.name, func(t *testing.T) {
+			mod, err := cmm.LoadMiniM3With(string(game), pol.policy, cmm.LoadConfig{File: "game.m3"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := mod.Verify(true)
+			if ds.HasErrors() {
+				t.Errorf("policy %s has verifier errors:\n%s", pol.name, ds)
+			}
+			if got := len(ds.Warnings()); got != pol.warns {
+				t.Errorf("policy %s: want %d warnings, got %d:\n%s", pol.name, pol.warns, got, ds)
+			}
+		})
+	}
+}
+
+// TestVerifyProgenSweep: randomized well-formed programs — with and
+// without exceptional control flow — verify with zero errors across a
+// seed sweep. The generator annotates honestly by construction, so any
+// error here is a verifier false positive.
+func TestVerifyProgenSweep(t *testing.T) {
+	for _, exceptions := range []bool{false, true} {
+		for seed := int64(1); seed <= 30; seed++ {
+			src := progen.Generate(seed, progen.Config{Procs: 4, Exceptions: exceptions})
+			ds, err := cmm.Verify(src)
+			if err != nil {
+				t.Fatalf("seed %d (exceptions=%v) does not load: %v\n%s", seed, exceptions, err, src)
+			}
+			if ds.HasErrors() {
+				t.Errorf("seed %d (exceptions=%v) has verifier errors:\n%s\n%s", seed, exceptions, ds, src)
+			}
+		}
+	}
+}
+
+// TestVerifyDifferential: for each verifier error class, a valid module
+// and a mutated twin (one annotation dropped, one escape introduced).
+// The valid module verifies error-free and runs; the mutated module both
+// fails verification and traps in the reference interpreter — i.e. the
+// verifier reports, ahead of time, exactly the §4 violations the
+// semantics catches at run time.
+func TestVerifyDifferential(t *testing.T) {
+	cases := []struct {
+		name       string
+		valid      string
+		mutated    string
+		entry      string
+		arg        uint64
+		wantVerify string // substring of a mutated-module verifier error
+		wantTrap   string // substring of the mutated-module interpreter trap
+	}{
+		{
+			name: "cut-landing-site-unannotated",
+			valid: `export f, raiser;
+f(bits32 x) {
+    bits32 r, v;
+    r = raiser(x, k) also cuts to k also aborts;
+    return (r);
+continuation k(v):
+    return (v + 1);
+}
+raiser(bits32 x, bits32 kv) {
+    if (x & 1) == 0 {
+        cut to kv(x + 100) also aborts;
+    }
+    return (x);
+}
+`,
+			mutated: `export f, raiser;
+f(bits32 x) {
+    bits32 r, v;
+    r = raiser(x, k);
+    return (r);
+continuation k(v):
+    return (v + 1);
+}
+raiser(bits32 x, bits32 kv) {
+    if (x & 1) == 0 {
+        cut to kv(x + 100) also aborts;
+    }
+    return (x);
+}
+`,
+			entry:      "f",
+			arg:        2,
+			wantVerify: `neither "also cuts to" nor "also aborts"`,
+			wantTrap:   "not listed in the suspended call's also cuts to",
+		},
+		{
+			name: "same-activation-cut-unannotated",
+			valid: `export f;
+f(bits32 x) {
+    bits32 v;
+    cut to k(x) also cuts to k;
+continuation k(v):
+    return (v);
+}
+`,
+			mutated: `export f;
+f(bits32 x) {
+    bits32 v;
+    cut to k(x);
+continuation k(v):
+    return (v);
+}
+`,
+			entry:      "f",
+			arg:        5,
+			wantVerify: "in the same activation without",
+			wantTrap:   "same activation without also cuts to",
+		},
+		{
+			name: "cut-past-site-unannotated",
+			valid: `export f, mid, raiser;
+f(bits32 x) {
+    bits32 r, v;
+    r = mid(x, k) also cuts to k also aborts;
+    return (r);
+continuation k(v):
+    return (v + 1);
+}
+mid(bits32 x, bits32 kv) {
+    bits32 r;
+    r = raiser(x, kv) also aborts;
+    return (r);
+}
+raiser(bits32 x, bits32 kv) {
+    if (x & 1) == 0 {
+        cut to kv(x + 100) also aborts;
+    }
+    return (x);
+}
+`,
+			mutated: `export f, mid, raiser;
+f(bits32 x) {
+    bits32 r, v;
+    r = mid(x, k) also cuts to k also aborts;
+    return (r);
+continuation k(v):
+    return (v + 1);
+}
+mid(bits32 x, bits32 kv) {
+    bits32 r;
+    r = raiser(x, kv);
+    return (r);
+}
+raiser(bits32 x, bits32 kv) {
+    if (x & 1) == 0 {
+        cut to kv(x + 100) also aborts;
+    }
+    return (x);
+}
+`,
+			entry:      "f",
+			arg:        2,
+			wantVerify: `neither "also cuts to" nor "also aborts"`,
+			wantTrap:   "cut past a call site in mid without also aborts",
+		},
+		{
+			name: "alternate-return-site-unannotated",
+			valid: `export f, g;
+f(bits32 x) {
+    bits32 r, v;
+    r = g(x) also returns to k;
+    return (r);
+continuation k(v):
+    return (v);
+}
+g(bits32 x) {
+    if x == 0 {
+        return <0/1> (x);
+    }
+    return <1/1> (x + 1);
+}
+`,
+			mutated: `export f, g;
+f(bits32 x) {
+    bits32 r, v;
+    r = g(x);
+    return (r);
+continuation k(v):
+    return (v);
+}
+g(bits32 x) {
+    if x == 0 {
+        return <0/1> (x);
+    }
+    return <1/1> (x + 1);
+}
+`,
+			entry:      "f",
+			arg:        5,
+			wantVerify: "alternate return continuations",
+			wantTrap:   "return <1/1> to a call site with 0 alternate return continuations",
+		},
+		{
+			name: "continuation-escapes-by-return",
+			valid: `export f, g;
+f(bits32 x) {
+    bits32 r, v;
+    r = g(x, k) also cuts to k also aborts;
+    return (r);
+continuation k(v):
+    return (v + 1);
+}
+g(bits32 x, bits32 kv) {
+    cut to kv(x) also aborts;
+}
+`,
+			mutated: `export f, g;
+f(bits32 x) {
+    bits32 r;
+    r = g(x);
+    cut to r(x) also aborts;
+}
+g(bits32 x) {
+    bits32 w;
+    return (k);
+continuation k(w):
+    return (w);
+}
+`,
+			entry:      "f",
+			arg:        3,
+			wantVerify: "dies when g's activation is deallocated",
+			wantTrap:   "dead continuation",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The valid twin: no verifier errors, runs to completion.
+			ds, err := cmm.Verify(tc.valid)
+			if err != nil {
+				t.Fatalf("valid module does not load: %v", err)
+			}
+			if ds.HasErrors() {
+				t.Fatalf("valid module has verifier errors:\n%s", ds)
+			}
+			mod, err := cmm.Load(tc.valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := mod.Interp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := in.Run(tc.entry, tc.arg); err != nil {
+				t.Fatalf("valid module traps: %v", err)
+			}
+
+			// The mutated twin: the verifier reports the violation the
+			// interpreter traps on.
+			ds, err = cmm.Verify(tc.mutated)
+			if err != nil {
+				t.Fatalf("mutated module does not load: %v", err)
+			}
+			errs := ds.Errors()
+			if len(errs) == 0 {
+				t.Fatalf("mutated module passes verification:\n%s", ds)
+			}
+			if !strings.Contains(errs.String(), tc.wantVerify) {
+				t.Errorf("verifier errors lack %q:\n%s", tc.wantVerify, errs)
+			}
+			mod, err = cmm.Load(tc.mutated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err = mod.Interp()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := in.Run(tc.entry, tc.arg); err == nil {
+				t.Error("mutated module runs without trapping")
+			} else if !strings.Contains(err.Error(), tc.wantTrap) {
+				t.Errorf("trap %q lacks %q", err, tc.wantTrap)
+			}
+		})
+	}
+}
+
+// TestCmmvetTool: the CLI exits 0 on clean modules, 1 on verifier
+// errors, renders findings in the structured diagnostic format, and
+// accepts MiniM3 input via -minim3.
+func TestCmmvetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmvet", "testdata/figure1.cmm")
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean module produced output:\n%s", out)
+	}
+	out = runToolFail(t, "./cmd/cmmvet", "testdata/verify/cut_unannotated.cmm")
+	if !strings.Contains(out, "error: [verify]") {
+		t.Errorf("verifier error not rendered:\n%s", out)
+	}
+	out = runTool(t, "./cmd/cmmvet", "-strict", "testdata/verify/useless_annotation.cmm")
+	if !strings.Contains(out, "useless annotation") {
+		t.Errorf("-strict finding missing:\n%s", out)
+	}
+	out = runTool(t, "./cmd/cmmvet", "-minim3", "cutting", "testdata/game.m3")
+	if !strings.Contains(out, "warning: [verify]") {
+		t.Errorf("MiniM3 cutting warnings missing:\n%s", out)
+	}
+}
+
+// TestCmmcVetFlag: cmmc -vet fails the compile on verifier errors, and
+// cmmrun -vet runs clean modules normally.
+func TestCmmcVetFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runToolFail(t, "./cmd/cmmc", "-vet", "-run", "f", "-args", "5", "testdata/verify/arity_mismatch.cmm")
+	if !strings.Contains(out, "[verify]") {
+		t.Errorf("cmmc -vet failure not attributed to verify:\n%s", out)
+	}
+	out = runTool(t, "./cmd/cmmrun", "-vet", "-run", "sp1", "-args", "10", "testdata/figure1.cmm")
+	if !strings.Contains(out, "[55 3628800]") {
+		t.Errorf("cmmrun -vet output: %s", out)
+	}
+}
