@@ -194,39 +194,15 @@ func BenchmarkNativeCut2(b *testing.B) {
 // the bank disabled (or killed by also-cuts-to edges) they live in the
 // frame, adding memory traffic on every iteration.
 
-const calleeSavesSrc = `
-leaf(bits32 x) { return (x + 1); }
-kernel(bits32 n) {
-    bits32 a, b, c, d, i, r;
-    a = 1; b = 2; c = 3; d = 4; i = 0; r = 0;
-loop:
-    if i == n { return (r + a + b + c + d); }
-    r = leaf(r);
-    r = r + a + b + c + d;
-    i = i + 1;
-    goto loop;
-}
-`
+// The kernel sources live in internal/paper (workloads.go) so the
+// -O0/-O2 golden suite and cmd/cmmbench -olevels share them.
+const calleeSavesSrc = paper.CalleeSavesKernel
 
 // calleeSavesCutSrc is the same kernel, but the call can cut to a local
 // handler: the cut edge kills callee-saves registers, forcing a..d into
 // the frame (§4.2's "penalty... paid regardless of whether the
 // continuation is used").
-const calleeSavesCutSrc = `
-leaf(bits32 x) { return (x + 1); }
-kernel(bits32 n) {
-    bits32 a, b, c, d, i, r;
-    a = 1; b = 2; c = 3; d = 4; i = 0; r = 0;
-loop:
-    if i == n { return (r + a + b + c + d); }
-    r = leaf(r) also cuts to k;
-    r = r + a + b + c + d;
-    i = i + 1;
-    goto loop;
-continuation k:
-    return (a + b + c + d);
-}
-`
+const calleeSavesCutSrc = paper.CalleeSavesKernelCut
 
 func BenchmarkCalleeSaves_Used(b *testing.B) {
 	mach := benchMachine(b, calleeSavesSrc, cmm.CompileConfig{})
@@ -285,22 +261,7 @@ func BenchmarkDiv_Solid(b *testing.B) {
 // they can be applied at all); the measurable effect is the usual win
 // from running them.
 
-const optSrc = `
-f(bits32 n) {
-    bits32 i, r, x, y;
-    i = 0; r = 0;
-loop:
-    if i == n { return (r); }
-    x = 2 + 3;
-    y = x;
-    r = g(r + y) also unwinds to k also aborts;
-    i = i + 1;
-    goto loop;
-continuation k(r):
-    return (r);
-}
-g(bits32 x) { return (x); }
-`
+const optSrc = paper.OptHandlerRich
 
 func BenchmarkOpt_WithEdges(b *testing.B) {
 	mod, err := cmm.Load(optSrc)
@@ -317,6 +278,25 @@ func BenchmarkOpt_WithEdges(b *testing.B) {
 
 func BenchmarkOpt_None(b *testing.B) {
 	mach := benchMachine(b, optSrc, cmm.CompileConfig{})
+	runSim(b, mach, nil, "f", 100)
+}
+
+// BenchmarkOpt_O2 adds the summary-driven layer on top of the scalar
+// passes: handler edges at quiet call sites pruned, the orphaned
+// continuation dropped, g's frame elided. Tracked against the golden in
+// testdata/bench/opt_handler_rich.golden.
+func BenchmarkOpt_O2(b *testing.B) {
+	mod, err := cmm.Load(optSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mod.ApplyOpt(2); err != nil {
+		b.Fatal(err)
+	}
+	mach, err := mod.Native(cmm.CompileConfig{Opt: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
 	runSim(b, mach, nil, "f", 100)
 }
 

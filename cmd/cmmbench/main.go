@@ -12,10 +12,21 @@
 //
 //	go run ./cmd/cmmbench                # figure tables, markdown
 //	go run ./cmd/cmmbench -bench -out BENCH_pr3.json
+//	go run ./cmd/cmmbench -olevels                        # -O0 vs -O2 table
+//	go run ./cmd/cmmbench -olevels -json BENCH_pr5.json   # + JSON report
+//	go run ./cmd/cmmbench -olevels -goldens testdata/bench
 //
 // -bench measures host throughput (ns/op and simulated instructions
 // retired per host second) of both execution engines on fixed workloads
 // and writes a JSON report.
+//
+// -olevels reruns the fixed optimizer workloads (paper.CycleWorkloads)
+// at -O0 and -O2 and prints the EXPERIMENTS.md cycles/op table.
+// Simulated cycles are deterministic, so the numbers are exact, not
+// sampled. -json additionally writes the machine-readable report;
+// -goldens DIR diffs every row against DIR/<name>.golden and exits
+// non-zero on any drift (the CI bench-smoke gate); -write-goldens DIR
+// rewrites the golden files instead.
 package main
 
 import (
@@ -23,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"cmm"
@@ -31,8 +44,12 @@ import (
 )
 
 var (
-	benchMode = flag.Bool("bench", false, "measure host throughput of both engines instead of printing figure tables")
-	outFile   = flag.String("out", "", "write output to this file instead of stdout")
+	benchMode    = flag.Bool("bench", false, "measure host throughput of both engines instead of printing figure tables")
+	olevelsMode  = flag.Bool("olevels", false, "measure simulated cycles of the fixed workloads at -O0 and -O2")
+	outFile      = flag.String("out", "", "write output to this file instead of stdout")
+	jsonOut      = flag.String("json", "", "with -olevels, also write the report as JSON to this file")
+	goldenDir    = flag.String("goldens", "", "with -olevels, diff results against DIR/<name>.golden and fail on drift")
+	writeGoldens = flag.String("write-goldens", "", "with -olevels, rewrite DIR/<name>.golden from the measured results")
 )
 
 func main() {
@@ -47,9 +64,12 @@ func main() {
 		out = f
 	}
 	var err error
-	if *benchMode {
+	switch {
+	case *benchMode:
 		err = writeBench(out)
-	} else {
+	case *olevelsMode:
+		err = writeOLevels(out)
+	default:
 		err = writeFigures(out)
 	}
 	if err != nil {
@@ -209,6 +229,157 @@ func joinStrings(ss []string, sep string) string {
 		out += s
 	}
 	return out
+}
+
+// workloadDispatcher builds the run-time system a CycleWorkload's
+// Dispatcher spec names (same syntax as cmmrun's -dispatcher flag).
+func workloadDispatcher(spec string) (cmm.Dispatcher, error) {
+	switch {
+	case spec == "":
+		return nil, nil
+	case spec == "unwind":
+		return cmm.NewUnwindDispatcher(), nil
+	case strings.HasPrefix(spec, "exnstack:"):
+		return cmm.NewExnStackDispatcher(strings.TrimPrefix(spec, "exnstack:")), nil
+	case strings.HasPrefix(spec, "register:"):
+		return cmm.NewRegisterDispatcher(strings.TrimPrefix(spec, "register:")), nil
+	}
+	return nil, fmt.Errorf("unknown dispatcher spec %q", spec)
+}
+
+// runWorkloadCycles compiles one workload at the given -O level on a
+// fresh module and returns the simulated cycles of a single run.
+func runWorkloadCycles(w paper.CycleWorkload, level int) (int64, error) {
+	mod, err := cmm.Load(w.Src)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", w.Name, err)
+	}
+	if level != 0 {
+		if _, err := mod.ApplyOpt(level); err != nil {
+			return 0, fmt.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	d, err := workloadDispatcher(w.Dispatcher)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", w.Name, err)
+	}
+	var opts []cmm.RunOption
+	if d != nil {
+		opts = append(opts, cmm.WithDispatcher(d))
+	}
+	mach, err := mod.Native(cmm.CompileConfig{
+		TestAndBranch: w.TestAndBranch,
+		NoCalleeSaves: w.NoCalleeSaves,
+		Opt:           level,
+	}, opts...)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", w.Name, err)
+	}
+	res, err := mach.Run(w.Proc, w.Args...)
+	if err != nil {
+		return 0, fmt.Errorf("%s -O%d: %v", w.Name, level, err)
+	}
+	if w.Want != nil && (len(res) == 0 || res[0] != *w.Want) {
+		return 0, fmt.Errorf("%s -O%d: got %v, want %d", w.Name, level, res, *w.Want)
+	}
+	return mach.Stats().Cycles, nil
+}
+
+// oLevelRow is one row of the -olevels report.
+type oLevelRow struct {
+	Name         string  `json:"name"`
+	O0Cycles     int64   `json:"o0_cycles"`
+	O2Cycles     int64   `json:"o2_cycles"`
+	ReductionPct float64 `json:"reduction_pct"`
+}
+
+func measureOLevels() ([]oLevelRow, error) {
+	var rows []oLevelRow
+	for _, w := range paper.CycleWorkloads {
+		o0, err := runWorkloadCycles(w, 0)
+		if err != nil {
+			return nil, err
+		}
+		o2, err := runWorkloadCycles(w, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, oLevelRow{
+			Name:         w.Name,
+			O0Cycles:     o0,
+			O2Cycles:     o2,
+			ReductionPct: 100 * float64(o0-o2) / float64(o0),
+		})
+	}
+	return rows, nil
+}
+
+// goldenText renders one row in the golden-file format checked into
+// testdata/bench/ (also parsed by the repo's bench_golden_test.go).
+func goldenText(r oLevelRow) string {
+	return fmt.Sprintf("O0 %d\nO2 %d\n", r.O0Cycles, r.O2Cycles)
+}
+
+func writeOLevels(out *os.File) error {
+	rows, err := measureOLevels()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "## Summary-driven optimizer — simulated cycles at -O0 vs -O2")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| workload | -O0 cycles | -O2 cycles | reduction |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(out, "| %s | %d | %d | %.1f%% |\n", r.Name, r.O0Cycles, r.O2Cycles, r.ReductionPct)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "Cycles are deterministic simulated counts of one run per workload")
+	fmt.Fprintln(out, "(exact, not sampled); every -O2 run's results and observable events")
+	fmt.Fprintln(out, "are asserted identical to -O0 by the differential sweep.")
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"olevels": rows}); err != nil {
+			return err
+		}
+	}
+	if *writeGoldens != "" {
+		if err := os.MkdirAll(*writeGoldens, 0o755); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			path := filepath.Join(*writeGoldens, r.Name+".golden")
+			if err := os.WriteFile(path, []byte(goldenText(r)), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if *goldenDir != "" {
+		drift := 0
+		for _, r := range rows {
+			path := filepath.Join(*goldenDir, r.Name+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if got := goldenText(r); got != string(want) {
+				fmt.Fprintf(os.Stderr, "cmmbench: %s drifted:\n  golden: %q\n  got:    %q\n",
+					r.Name, string(want), got)
+				drift++
+			}
+		}
+		if drift > 0 {
+			return fmt.Errorf("%d workload(s) drifted from %s", drift, *goldenDir)
+		}
+		fmt.Fprintf(out, "\nAll %d workloads match the goldens in %s.\n", len(rows), *goldenDir)
+	}
+	return nil
 }
 
 // benchResult is one row of the -bench JSON report.

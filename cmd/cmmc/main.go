@@ -29,7 +29,8 @@ import (
 var (
 	runProc    = flag.String("run", "", "procedure to run")
 	argList    = flag.String("args", "", "comma-separated integer arguments")
-	doOpt      = flag.Bool("opt", false, "run the optimizer first")
+	doOpt      = flag.Bool("opt", false, "run the scalar optimizer first (same IR passes as -O 1)")
+	optLevel   = flag.Int("O", 0, "optimization level: 0 baseline, 1 scalar+frame optimizations, 2 adds interprocedural pruning and return peepholes")
 	disasm     = flag.String("disasm", "", "disassemble a procedure")
 	stats      = flag.Bool("stats", false, "print cost-model counters after running")
 	dispatcher = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
@@ -83,6 +84,13 @@ func main() {
 	if *doOpt {
 		fmt.Println("optimizer:", mod.Optimize())
 	}
+	if *optLevel != 0 {
+		summary, err := mod.ApplyOpt(*optLevel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-O%d: %s\n", *optLevel, summary)
+	}
 	var opts []cmm.RunOption
 	if d := makeDispatcher(*dispatcher); d != nil {
 		opts = append(opts, cmm.WithDispatcher(d))
@@ -94,6 +102,7 @@ func main() {
 	mach, err := mod.Native(cmm.CompileConfig{
 		TestAndBranch: *testBranch,
 		NoCalleeSaves: *noSaves,
+		Opt:           *optLevel,
 	}, opts...)
 	if err != nil {
 		fatal(err)

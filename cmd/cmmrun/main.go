@@ -71,7 +71,8 @@ func (v *statsValue) IsBoolFlag() bool { return true }
 var (
 	runProc     = flag.String("run", "main", "procedure to run")
 	argList     = flag.String("args", "", "comma-separated integer arguments")
-	doOpt       = flag.Bool("opt", false, "run the optimizer first")
+	doOpt       = flag.Bool("opt", false, "run the scalar optimizer first (same IR passes as -O 1)")
+	optLevel    = flag.Int("O", 0, "optimization level: 0 baseline, 1 scalar+frame optimizations, 2 adds interprocedural pruning and return peepholes")
 	steps       = flag.Bool("steps", false, "print the number of machine transitions (interp engine)")
 	dispatcher  = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
 	engine      = flag.String("engine", "interp", "execution engine: interp (§5 semantics), fast (threaded code), or ref (reference stepper)")
@@ -106,6 +107,13 @@ func main() {
 	}
 	if *doOpt {
 		fmt.Println("optimizer:", mod.Optimize())
+	}
+	if *optLevel != 0 {
+		summary, err := mod.ApplyOpt(*optLevel)
+		if err != nil {
+			fatal("flags", err)
+		}
+		fmt.Printf("-O%d: %s\n", *optLevel, summary)
 	}
 
 	var observer *cmm.Observer
@@ -174,7 +182,7 @@ func main() {
 		if *engine == "ref" {
 			opts = append(opts, cmm.WithEngine(cmm.EngineRef))
 		}
-		mach, err := mod.Native(cmm.CompileConfig{}, opts...)
+		mach, err := mod.Native(cmm.CompileConfig{Opt: *optLevel}, opts...)
 		if err != nil {
 			fatal("compile", err)
 		}

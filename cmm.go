@@ -211,6 +211,60 @@ func (m *Module) OptimizeUnsoundWithoutExceptionEdges() OptStats {
 	return m.optimize(opt.Options{WithoutExceptionEdges: true})
 }
 
+// InterprocStats reports what the summary-driven interprocedural pass
+// did: how many call sites it proved quiet, which annotation edges it
+// removed there, and how many continuation bindings became unreferenced
+// and were dropped.
+type InterprocStats struct {
+	SitesQuieted       int
+	CutEdgesRemoved    int
+	UnwindEdgesRemoved int
+	AbortsRemoved      int
+	ContsRemoved       int
+}
+
+func (s InterprocStats) String() string {
+	return fmt.Sprintf("quieted %d call sites (removed %d cut edges, %d unwind edges, %d aborts), dropped %d continuations",
+		s.SitesQuieted, s.CutEdgesRemoved, s.UnwindEdgesRemoved, s.AbortsRemoved, s.ContsRemoved)
+}
+
+// OptimizeInterproc runs the summary-driven interprocedural pass: call
+// sites whose callee provably neither cuts nor yields lose their "also
+// cuts to"/"also unwinds to"/"also aborts" annotations, and
+// continuations nothing references afterwards are dropped. It preserves
+// observable behaviour for every engine and dispatcher; run it before
+// Optimize so the scalar passes see the pruned edges.
+func (m *Module) OptimizeInterproc() InterprocStats {
+	r, _ := m.sess.Interproc() // Frontend already ran in Load; no error possible
+	return InterprocStats{
+		SitesQuieted:       r.SitesQuieted,
+		CutEdgesRemoved:    r.CutEdges,
+		UnwindEdgesRemoved: r.UnwindEdges,
+		AbortsRemoved:      r.Aborts,
+		ContsRemoved:       r.ContsRemoved,
+	}
+}
+
+// ApplyOpt runs the IR-level optimization stack for the -O levels and
+// returns a printable summary. Level 0 does nothing. Level 1 runs the
+// scalar optimizer (Optimize). Level 2 first runs the interprocedural
+// pass (OptimizeInterproc), then the scalar optimizer over the pruned
+// graphs. Pair it with CompileConfig.Opt, which enables the codegen-side
+// optimizations of the same levels.
+func (m *Module) ApplyOpt(level int) (string, error) {
+	switch level {
+	case 0:
+		return "", nil
+	case 1:
+		return m.Optimize().String(), nil
+	case 2:
+		ip := m.OptimizeInterproc()
+		sc := m.Optimize()
+		return fmt.Sprintf("interproc: %s; opt: %s", ip, sc), nil
+	}
+	return "", fmt.Errorf("unknown optimization level -O%d (want 0, 1, or 2)", level)
+}
+
 func (m *Module) optimize(o opt.Options) OptStats {
 	r, _ := m.sess.OptimizeWith(o) // Frontend already ran in Load; no error possible
 	return OptStats{

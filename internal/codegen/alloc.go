@@ -4,12 +4,13 @@ import (
 	"sort"
 
 	"cmm/internal/cfg"
+	"cmm/internal/dataflow"
 	"cmm/internal/machine"
 	"cmm/internal/syntax"
 )
 
-// allocate assigns a home to every local variable of the current
-// procedure and lays out its frame. The classification follows §4.2:
+// classifyHomes runs the §4.2 classification and assigns a home to every
+// local variable of g. The classification:
 //
 //   - A variable live into a continuation reachable by also-cuts-to must
 //     live in the frame: a cut does not restore callee-saves registers,
@@ -22,17 +23,12 @@ import (
 //   - Everything else gets a caller-saves temporary, falling back to the
 //     frame.
 //
-// Frame layout, offsets from sp after the prologue:
-//
-//	[0 ..)              frame-resident variables (8-byte slots)
-//	[..]                continuation (pc, sp) pairs, 16 bytes each
-//	[..]                saved callee-saves registers
-//	[RAOffset]          saved return address
-func (gen *generator) allocate() error {
-	f := gen.f
-	g := f.g
-	lv := f.liveness
-
+// It returns the home map (frame homes not yet assigned offsets), the
+// frame-resident variables in layout order, and the number of
+// callee-saves registers handed out (always the dense prefix s0..s(n-1),
+// which is what makes the precise-save accounting in ipo.go a prefix
+// computation).
+func classifyHomes(g *cfg.Graph, lv *dataflow.Liveness, disableCS bool) (map[string]home, []string, int) {
 	liveIntoCut := map[string]bool{}
 	liveAcross := map[string]bool{}
 	for _, n := range g.Nodes() {
@@ -66,6 +62,7 @@ func (gen *generator) allocate() error {
 	}
 	sort.Strings(vars)
 
+	homes := map[string]home{}
 	var frameVars []string
 	nextS := 0
 	nextT := 4 // t0..t3 are expression scratch; homes start at t4
@@ -74,20 +71,45 @@ func (gen *generator) allocate() error {
 		case liveIntoCut[v]:
 			frameVars = append(frameVars, v)
 		case liveAcross[v]:
-			if gen.opts.DisableCalleeSaves || nextS >= machine.NumS {
+			if disableCS || nextS >= machine.NumS {
 				frameVars = append(frameVars, v)
 			} else {
-				f.homes[v] = home{reg: machine.RS0 + machine.Reg(nextS), inReg: true}
+				homes[v] = home{reg: machine.RS0 + machine.Reg(nextS), inReg: true}
 				nextS++
 			}
 		default:
 			if nextT >= machine.NumT {
 				frameVars = append(frameVars, v)
 			} else {
-				f.homes[v] = home{reg: machine.RT0 + machine.Reg(nextT), inReg: true}
+				homes[v] = home{reg: machine.RT0 + machine.Reg(nextT), inReg: true}
 				nextT++
 			}
 		}
+	}
+	return homes, frameVars, nextS
+}
+
+// allocate assigns a home to every local variable of the current
+// procedure and lays out its frame.
+//
+// Frame layout, offsets from sp after the prologue:
+//
+//	[0 ..)              frame-resident variables (8-byte slots)
+//	[..]                continuation (pc, sp) pairs, 16 bytes each
+//	[..]                saved callee-saves registers
+//	[RAOffset]          saved return address
+//
+// At -O0 the saved-register count follows the whole-bank rule below; at
+// -O1 and above the precomputed facts (ipo.go) replace it with the
+// precise prefix, and frames proved unobservable are elided entirely
+// (FrameSize 0 — the prologue and epilogue then emit nothing).
+func (gen *generator) allocate() error {
+	f := gen.f
+	g := f.g
+
+	homes, frameVars, nextS := classifyHomes(g, f.liveness, gen.opts.DisableCalleeSaves)
+	for v, h := range homes {
+		f.homes[v] = h
 	}
 
 	off := int64(0)
@@ -114,9 +136,12 @@ func (gen *generator) allocate() error {
 	// intact below the handler ("these values may be distributed
 	// throughout the stack", §2; "killed by flow edges from the call to
 	// any cut-to continuations", §4.2). This is the per-scope cost of the
-	// stack-cutting technique.
+	// stack-cutting technique — and what the -O1 precise accounting
+	// shrinks to the prefix actually at risk.
 	nSaved := nextS
-	if gen.cutTargets() && !gen.opts.DisableCalleeSaves {
+	if pf := gen.facts(); pf != nil {
+		nSaved = pf.nSaved
+	} else if isCutTarget(g) && !gen.opts.DisableCalleeSaves {
 		// (When DisableCalleeSaves is on, no procedure anywhere uses the
 		// bank, so there is nothing to preserve across a cut — exactly
 		// the "no callee-saves registers" configuration the paper pairs
@@ -130,15 +155,32 @@ func (gen *generator) allocate() error {
 	f.pi.RAOffset = off
 	off += wordSlot
 	f.pi.FrameSize = off
+	if pf := gen.facts(); pf != nil && pf.leaf {
+		// Leaf elision: no call, no yield, no frame-resident value, no
+		// continuation block, no saved register — the frame is dead on
+		// every execution and the run-time system can never observe it
+		// (the procedure is never suspended). FrameSize 0 makes the
+		// prologue and epilogue vanish.
+		f.pi.FrameSize = 0
+		f.pi.RAOffset = 0
+	}
 	return nil
 }
 
-// cutTargets reports whether any continuation of the current procedure
-// can be entered by a cut: it appears in an also-cuts-to list, or its
-// value escapes as data (stored, passed, or compared), in which case any
-// holder might cut to it.
-func (gen *generator) cutTargets() bool {
-	g := gen.f.g
+// facts returns the optimization facts for the current procedure, or nil
+// below -O1.
+func (gen *generator) facts() *procFacts {
+	if gen.lay == nil || gen.lay.facts == nil {
+		return nil
+	}
+	return gen.lay.facts.procs[gen.f.pi.Name]
+}
+
+// isCutTarget reports whether any continuation of g can be entered by a
+// cut: it appears in an also-cuts-to list, or its value escapes as data
+// (stored, passed, or compared), in which case any holder might cut to
+// it.
+func isCutTarget(g *cfg.Graph) bool {
 	if len(g.ContMap) == 0 {
 		return false
 	}

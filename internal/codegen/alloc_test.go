@@ -1,0 +1,107 @@
+package codegen
+
+import (
+	"testing"
+
+	"cmm/internal/machine"
+)
+
+// bankExhaustSrc keeps ten values live across a call: two more than the
+// callee-saves bank holds (machine.NumS = 8). The allocator must hand
+// out the dense prefix s0..s7 and spill the overflow to the frame.
+const bankExhaustSrc = `
+f(bits32 n) {
+    bits32 a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, r;
+    a0 = 1; a1 = 2; a2 = 3; a3 = 4; a4 = 5;
+    a5 = 6; a6 = 7; a7 = 8; a8 = 9; a9 = 10;
+    r = g(n);
+    return (r + a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9);
+}
+g(bits32 x) { return (x + 1); }
+`
+
+// bankExhaustCutSrc is the same pressure with a cut edge on the call, so
+// f is a cut target: the precise accounting must still cap the saved
+// set at the bank size, never beyond it.
+const bankExhaustCutSrc = `
+f(bits32 n) {
+    bits32 a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, r;
+    a0 = 1; a1 = 2; a2 = 3; a3 = 4; a4 = 5;
+    a5 = 6; a6 = 7; a7 = 8; a8 = 9; a9 = 10;
+    r = g(n) also cuts to k;
+    return (r + a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9);
+continuation k:
+    return (0);
+}
+g(bits32 x) { return (x + 1); }
+`
+
+// checkFrameInvariants asserts the layout contract of ProcInfo: saved
+// registers are the dense prefix s0.., their slots are consecutive,
+// nothing overlaps, and ra is the last slot of the frame.
+func checkFrameInvariants(t *testing.T, pi *ProcInfo) {
+	t.Helper()
+	if pi.RAOffset != pi.FrameSize-8 {
+		t.Errorf("ra not the last slot: ra=%d frame=%d", pi.RAOffset, pi.FrameSize)
+	}
+	seen := map[int64]bool{}
+	for i, sr := range pi.SavedRegs {
+		if sr.Reg != machine.RS0+machine.Reg(i) {
+			t.Errorf("saved reg %d is %v, want the dense prefix s%d", i, sr.Reg, i)
+		}
+		if sr.Offset < 0 || sr.Offset >= pi.RAOffset {
+			t.Errorf("saved reg %d slot %d outside [0,%d)", i, sr.Offset, pi.RAOffset)
+		}
+		if i > 0 && sr.Offset != pi.SavedRegs[i-1].Offset+8 {
+			t.Errorf("saved reg slots not consecutive: %d after %d", sr.Offset, pi.SavedRegs[i-1].Offset)
+		}
+		if seen[sr.Offset] {
+			t.Errorf("saved reg slot %d assigned twice", sr.Offset)
+		}
+		seen[sr.Offset] = true
+	}
+	for name, off := range pi.ContBlocks {
+		if off < 0 || off+16 > pi.RAOffset {
+			t.Errorf("continuation block %s at %d outside [0,%d)", name, off, pi.RAOffset)
+		}
+		for _, sr := range pi.SavedRegs {
+			if sr.Offset >= off && sr.Offset < off+16 {
+				t.Errorf("saved reg slot %d overlaps continuation block %s", sr.Offset, name)
+			}
+		}
+	}
+}
+
+func TestCalleeSavesBankExhaustion(t *testing.T) {
+	for _, opt := range []int{0, 1, 2} {
+		cp := compile(t, bankExhaustSrc, Options{Opt: opt})
+		pi := cp.Procs["f"]
+		if got := len(pi.SavedRegs); got != machine.NumS {
+			t.Errorf("-O%d: saved %d registers, want the full bank %d", opt, got, machine.NumS)
+		}
+		checkFrameInvariants(t, pi)
+		// Two of the ten live-across values overflow the bank: the frame
+		// must hold them (2 slots) below the saved registers and ra.
+		wantFrame := int64(2*8 + machine.NumS*8 + 8)
+		if pi.FrameSize != wantFrame {
+			t.Errorf("-O%d: frame %d, want %d (2 spills + %d saves + ra)",
+				opt, pi.FrameSize, wantFrame, machine.NumS)
+		}
+	}
+}
+
+func TestCalleeSavesBankExhaustionCutTarget(t *testing.T) {
+	for _, opt := range []int{0, 1, 2} {
+		cp := compile(t, bankExhaustCutSrc, Options{Opt: opt})
+		pi := cp.Procs["f"]
+		// The whole-bank rule at -O0 and the precise prefix at -O1+ agree
+		// here (f itself uses the full bank); neither may exceed NumS.
+		if got := len(pi.SavedRegs); got != machine.NumS {
+			t.Errorf("-O%d: saved %d registers, want %d", opt, got, machine.NumS)
+		}
+		checkFrameInvariants(t, pi)
+		if len(pi.ContBlocks) != 1 {
+			t.Errorf("-O%d: %d continuation blocks, want 1", opt, len(pi.ContBlocks))
+		}
+	}
+}

@@ -43,6 +43,13 @@ type Options struct {
 	// procedure (the pipeline's cached analysis). When nil, or when it
 	// returns nil, codegen computes liveness itself.
 	LivenessFor func(name string) *dataflow.Liveness
+	// Opt selects the codegen optimization level. 0 is the baseline
+	// (bit-identical to the pre-optimizer compiler). 1 enables the
+	// summary-driven frame optimizations: precise callee-saves prefixes
+	// for cut targets and leaf-frame elision (ipo.go). 2 additionally
+	// enables the return peepholes: branch-table conversion of eligible
+	// procedures under TestAndBranch, and jump threading at link time.
+	Opt int
 }
 
 // SavedReg records where a prologue saved a callee-saves register.
@@ -150,6 +157,7 @@ type Layout struct {
 	globalAddr map[string]uint64
 	globalInit map[string]uint64
 	heapStart  uint64
+	facts      *optFacts // per-procedure -O facts; nil below -O1
 }
 
 // NewLayout computes the data layout of src: the image addresses, the
@@ -191,6 +199,9 @@ func NewLayout(src *cfg.Program, opts Options) (*Layout, error) {
 		addr += wordSlot
 	}
 	lay.heapStart = align8(addr)
+	if opts.Opt >= 1 {
+		lay.facts = computeFacts(src, opts)
+	}
 	return lay, nil
 }
 
@@ -303,6 +314,9 @@ func (lay *Layout) Link(chunks []*ProcChunk) (*Program, error) {
 	cp.Img = img
 
 	sort.Slice(cp.ProcByPC, func(i, j int) bool { return cp.ProcByPC[i].Entry < cp.ProcByPC[j].Entry })
+	if lay.opts.Opt >= 2 {
+		threadJumps(cp.Code)
+	}
 	return cp, nil
 }
 
@@ -406,7 +420,13 @@ func (gen *generator) compileProc(name string) (*ProcChunk, error) {
 		homes:  map[string]home{},
 		placed: map[*cfg.Node]int{},
 	}
-	if gen.opts.LivenessFor != nil {
+	if gen.lay != nil && gen.lay.facts != nil {
+		// NewLayout already ran liveness for the -O facts; reuse it.
+		if pf := gen.lay.facts.procs[name]; pf != nil {
+			gen.f.liveness = pf.liveness
+		}
+	}
+	if gen.f.liveness == nil && gen.opts.LivenessFor != nil {
 		gen.f.liveness = gen.opts.LivenessFor(name)
 	}
 	if gen.f.liveness == nil {

@@ -1,0 +1,109 @@
+package codegen
+
+import (
+	"testing"
+
+	"cmm/internal/machine"
+	"cmm/internal/paper"
+)
+
+// The §4.2 kernel with a cut edge: a..d are live into the handler (so
+// frame-resident), only the loop counter keeps a callee-saves register,
+// and the callee is quiet. The precise accounting must shrink the saved
+// set from the whole bank to that one-register prefix.
+func TestPreciseCalleeSaves(t *testing.T) {
+	baseline := compile(t, paper.CalleeSavesKernelCut, Options{})
+	if got := len(baseline.Procs["kernel"].SavedRegs); got != machine.NumS {
+		t.Fatalf("-O0 cut target saved %d registers, want the whole bank %d", got, machine.NumS)
+	}
+	precise := compile(t, paper.CalleeSavesKernelCut, Options{Opt: 1})
+	if got := len(precise.Procs["kernel"].SavedRegs); got >= machine.NumS || got < 1 {
+		t.Errorf("-O1 cut target saved %d registers, want a strict sub-bank prefix (>=1)", got)
+	}
+	if b, p := baseline.Procs["kernel"].FrameSize, precise.Procs["kernel"].FrameSize; p >= b {
+		t.Errorf("-O1 frame did not shrink: %d vs %d at -O0", p, b)
+	}
+}
+
+// g in the handler-rich workload makes no calls, binds no continuation,
+// and keeps nothing in the frame: at -O1 its frame must be elided
+// entirely, making the prologue and epilogue vanish.
+func TestLeafFrameElision(t *testing.T) {
+	baseline := compile(t, paper.OptHandlerRich, Options{})
+	if baseline.Procs["g"].FrameSize == 0 {
+		t.Fatal("-O0 leaf already has no frame; the elision test is vacuous")
+	}
+	opt := compile(t, paper.OptHandlerRich, Options{Opt: 1})
+	gi := opt.Procs["g"]
+	if gi.FrameSize != 0 || gi.RAOffset != 0 {
+		t.Errorf("leaf frame not elided: size=%d ra=%d", gi.FrameSize, gi.RAOffset)
+	}
+	// The elided body must contain no sp adjustment or ra save/restore.
+	for i := gi.Entry; i < gi.End; i++ {
+		in := opt.Code[i]
+		if (in.Op == machine.OpStore || in.Op == machine.OpLoad) && in.Rs == machine.RSP {
+			t.Errorf("elided leaf still touches the frame at pc %d: %s", i, machine.Disasm(in))
+		}
+	}
+	// f, which calls g with handler edges, must keep its frame.
+	if opt.Procs["f"].FrameSize == 0 {
+		t.Error("non-leaf f lost its frame")
+	}
+}
+
+// Under the test-and-branch configuration, -O2 may convert a procedure
+// whose callers all agree on the alternate-return protocol to the
+// branch-table form. Both forms exit through OpRetOff, but they encode
+// the chosen continuation differently: test-and-branch loads the index
+// into x0 and always returns to ra+0, while the branch-table form
+// returns to ra+j directly (a nonzero Imm for every non-first
+// continuation).
+func TestTableConversionUnderTestAndBranch(t *testing.T) {
+	countOffsetReturns := func(cp *Program, proc string) int {
+		pi := cp.Procs[proc]
+		n := 0
+		for i := pi.Entry; i < pi.End; i++ {
+			if in := cp.Code[i]; in.Op == machine.OpRetOff && in.Imm != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	baseline := compile(t, paper.Fig34, Options{TestAndBranch: true})
+	if n := countOffsetReturns(baseline, "g"); n != 0 {
+		t.Fatalf("-O0 test-and-branch g already returns to ra+j (%d)", n)
+	}
+	opt := compile(t, paper.Fig34, Options{TestAndBranch: true, Opt: 2})
+	if n := countOffsetReturns(opt, "g"); n == 0 {
+		t.Error("-O2 test-and-branch g was not converted to branch-table returns")
+	}
+}
+
+// threadJumps only retargets: chains collapse, positions never move,
+// cycles and register jumps are left alone.
+func TestThreadJumps(t *testing.T) {
+	code := []machine.Instr{
+		0: {Op: machine.OpJmp, Target: 1},
+		1: {Op: machine.OpJmp, Target: 4},
+		2: {Op: machine.OpBNZ, Target: 0},
+		3: {Op: machine.OpBZ, Target: 1},
+		4: {Op: machine.OpHalt},
+		5: {Op: machine.OpCall, Target: 0}, // calls must keep their entry
+		6: {Op: machine.OpJmp, Target: 6},  // self-loop stays
+		7: {Op: machine.OpJmp, Target: 8},
+		8: {Op: machine.OpJmp, Target: 7}, // two-jump cycle stays in place
+	}
+	threadJumps(code)
+	for i, want := range map[int]int{0: 4, 1: 4, 2: 4, 3: 4, 5: 0, 6: 6} {
+		if code[i].Target != want {
+			t.Errorf("code[%d].Target = %d, want %d", i, code[i].Target, want)
+		}
+	}
+	if len(code) != 9 {
+		t.Errorf("threading changed code length: %d", len(code))
+	}
+	// The cycle pair must still point within itself.
+	if t7, t8 := code[7].Target, code[8].Target; (t7 != 7 && t7 != 8) || (t8 != 7 && t8 != 8) {
+		t.Errorf("cycle retargeted out of itself: 7->%d 8->%d", t7, t8)
+	}
+}

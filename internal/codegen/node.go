@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"cmm/internal/cfg"
+	"cmm/internal/dataflow"
 	"cmm/internal/machine"
 	"cmm/internal/syntax"
 )
@@ -170,7 +171,7 @@ func (gen *generator) emitNode(n *cfg.Node) (*cfg.Node, error) {
 		if n.RetIndex < n.RetArity {
 			mark = machine.MarkAltReturn
 		}
-		if gen.opts.TestAndBranch {
+		if gen.opts.TestAndBranch && !gen.tableForm() {
 			// The callee reports the chosen continuation in x0; normal
 			// return uses index == arity.
 			gen.emit(machine.Instr{Op: machine.OpLI, Rd: machine.RX0, Imm: int64(n.RetIndex)})
@@ -218,10 +219,15 @@ func (gen *generator) storeToHome(v string, src machine.Reg) error {
 }
 
 // prologue allocates the frame, saves ra and the used callee-saves
-// registers, and materializes continuation (pc, sp) blocks.
+// registers, and materializes continuation (pc, sp) blocks. An elided
+// leaf frame (FrameSize 0, -O1+) needs none of it: ra stays live in its
+// register for the whole body.
 func (gen *generator) prologue() {
 	f := gen.f
 	pi := f.pi
+	if pi.FrameSize == 0 {
+		return
+	}
 	gen.emit(machine.Instr{Op: machine.OpALUI, Sub: machine.ASub, Rd: machine.RSP, Rs: machine.RSP, Imm: pi.FrameSize, Width: 64, Sym: "frame"})
 	gen.emit(machine.Instr{Op: machine.OpStore, Rs: machine.RSP, Rt: machine.RRA, Imm: pi.RAOffset, Size: wordSlot, Sym: "save ra"})
 	for _, sr := range pi.SavedRegs {
@@ -242,6 +248,9 @@ func (gen *generator) prologue() {
 // frame. It does not transfer control.
 func (gen *generator) epilogue() {
 	pi := gen.f.pi
+	if pi.FrameSize == 0 {
+		return
+	}
 	for _, sr := range pi.SavedRegs {
 		gen.emit(machine.Instr{Op: machine.OpLoad, Rd: sr.Reg, Rs: machine.RSP, Imm: sr.Offset, Size: wordSlot, Sym: "restore " + sr.Reg.String()})
 	}
@@ -298,7 +307,7 @@ func (gen *generator) emitCall(n *cfg.Node) (*cfg.Node, error) {
 	sf.cuts = append(sf.cuts, b.Cuts...)
 	f.sites = append(f.sites, sf)
 
-	if gen.opts.TestAndBranch {
+	if gen.opts.TestAndBranch && !gen.calleeTableForm(n) {
 		// Figure 3/4's rejected alternative: the callee returns an index
 		// in x0; the caller tests it against each alternate.
 		for j := 0; j < numAlt; j++ {
@@ -323,6 +332,31 @@ func (gen *generator) emitCall(n *cfg.Node) (*cfg.Node, error) {
 	f.pending = append(f.pending, b.Unwinds...)
 	f.pending = append(f.pending, b.Cuts...)
 	return b.NormalReturn(), nil
+}
+
+// tableForm reports whether the current procedure returns through the
+// branch-table protocol despite the TestAndBranch configuration (the
+// -O2 return peephole; see computeTableProcs).
+func (gen *generator) tableForm() bool {
+	pf := gen.facts()
+	return pf != nil && pf.table
+}
+
+// calleeTableForm reports whether call site n targets a procedure that
+// uses the branch-table protocol, so the site must lay out jump slots
+// rather than index tests. Yield sites keep their configured form: the
+// run-time system re-enters them through the recorded continuation pcs,
+// never through ra arithmetic.
+func (gen *generator) calleeTableForm(n *cfg.Node) bool {
+	if n.IsYield || gen.lay == nil || gen.lay.facts == nil {
+		return false
+	}
+	callee, kind := dataflow.ResolveCallee(gen.src, gen.f.g, n.Callee)
+	if kind != dataflow.CalleeProc {
+		return false
+	}
+	pf := gen.lay.facts.procs[callee]
+	return pf != nil && pf.table
 }
 
 func (gen *generator) isProcName(name string) bool {

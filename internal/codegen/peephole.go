@@ -1,0 +1,39 @@
+package codegen
+
+import (
+	"cmm/internal/machine"
+)
+
+// threadJumps is the -O2 link-time peephole: any branch whose target is
+// an unconditional jump is retargeted at that jump's destination,
+// following chains. It only ever REWRITES TARGETS — no instruction is
+// deleted or moved — because instruction positions are load-bearing
+// everywhere else: branch-table slots must sit at ra+j, call-site
+// return pcs key the run-time procedure tables, and continuation
+// entries are recorded by pc. A threaded-away jump that nothing
+// executes anymore costs code space, not cycles.
+//
+// Chains are followed through plain OpJmp only. Marked jumps do not
+// exist (marks live on OpRetOff and OpJmpR), and OpJmpR/OpCall targets
+// are left alone: a register jump's destination is dynamic, and calls
+// must land on the procedure entry their descriptor names.
+func threadJumps(code []machine.Instr) {
+	final := func(pc int) int {
+		hops := 0
+		for pc >= 0 && pc < len(code) && code[pc].Op == machine.OpJmp {
+			next := code[pc].Target
+			if next == pc || hops > len(code) {
+				break // self-loop or cycle: leave it
+			}
+			pc = next
+			hops++
+		}
+		return pc
+	}
+	for i := range code {
+		switch code[i].Op {
+		case machine.OpJmp, machine.OpBZ, machine.OpBNZ:
+			code[i].Target = final(code[i].Target)
+		}
+	}
+}

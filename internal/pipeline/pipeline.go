@@ -49,6 +49,7 @@ const (
 	PassTranslate = "translate"
 	PassVerify    = "verify"
 	PassLiveness  = "liveness"
+	PassInterproc = "interproc"
 	PassOpt       = "opt"
 	PassCodegen   = "codegen"
 	PassLink      = "link"
@@ -70,6 +71,7 @@ var passTable = []passDef{
 	{Name: PassTranslate, Reads: []string{"ast", "types"}, Invalidates: []string{"cfg", PassLiveness}},
 	{Name: PassVerify, Reads: []string{"cfg", "types"}},
 	{Name: PassLiveness, PerProc: true, Reads: []string{"cfg"}},
+	{Name: PassInterproc, Reads: []string{"cfg", "types"}, Invalidates: []string{PassLiveness}},
 	{Name: PassOpt, PerProc: true, Reads: []string{"cfg", "types", PassLiveness}, Invalidates: []string{PassLiveness}},
 	{Name: PassCodegen, PerProc: true, Reads: []string{"cfg", "types", PassLiveness}},
 	{Name: PassLink, Reads: []string{"code"}},
@@ -512,6 +514,28 @@ func (s *Session) Liveness(proc string) (*dataflow.Liveness, error) {
 		return nil, err
 	}
 	return s.liveness[proc], nil
+}
+
+// Interproc runs the summary-driven interprocedural pass: annotation
+// pruning at provably quiet call sites and removal of the continuations
+// nothing references afterwards (opt.Interproc). It is a whole-program
+// pass — the summaries cross procedure boundaries — so it does not fan
+// out. It invalidates the liveness cache like any transform.
+func (s *Session) Interproc() (opt.InterprocResult, error) {
+	var res opt.InterprocResult
+	if err := s.Frontend(); err != nil {
+		return res, err
+	}
+	err := s.timePass(PassInterproc, 0, s.irNodes(), s.irNodes, func() error {
+		res = *opt.Interproc(s.prog)
+		return nil
+	})
+	if err != nil {
+		return res, s.fail(PassInterproc, err)
+	}
+	s.livenessValid = false
+	s.snapshotGraphs(PassInterproc)
+	return res, nil
 }
 
 // Optimize runs the §6 optimizer over every procedure (in parallel for

@@ -210,6 +210,12 @@ type CompileConfig struct {
 	// frame, approximating implementations without callee-saves
 	// registers (§2).
 	NoCalleeSaves bool
+	// Opt is the codegen optimization level (0, 1, or 2); it mirrors the
+	// -O flag and is usually set alongside Module.ApplyOpt. 0 is the
+	// bit-identical baseline; 1 enables precise callee-saves prefixes
+	// and leaf-frame elision; 2 adds the return peepholes (branch-table
+	// conversion under TestAndBranch, link-time jump threading).
+	Opt int
 }
 
 // Machine is the module compiled to the simulated target machine.
@@ -231,6 +237,7 @@ func (m *Module) Native(cc CompileConfig, opts ...RunOption) (*Machine, error) {
 	copts := codegen.Options{
 		TestAndBranch:      cc.TestAndBranch,
 		DisableCalleeSaves: cc.NoCalleeSaves,
+		Opt:                cc.Opt,
 	}
 	var cp *codegen.Program
 	var err error
