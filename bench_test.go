@@ -470,6 +470,30 @@ func BenchmarkFigure2_CutTo_RefEngine(b *testing.B) {
 	}, "f", 256)
 }
 
+// The *_NativeEngine benchmarks rerun the same figures on the
+// host-native closure-chain tier. As with *_RefEngine, simulated
+// metrics are bit-identical; only host throughput moves.
+
+func BenchmarkFigure1_Sp3_NativeEngine(b *testing.B) {
+	mach := benchMachine(b, paper.Figure1, cmm.CompileConfig{}, cmm.WithEngine(cmm.EngineNative))
+	runSim(b, mach, nil, "sp3", 20)
+}
+
+func BenchmarkFig34_BranchTable_NativeEngine(b *testing.B) {
+	mach := benchMachine(b, fig34Src, cmm.CompileConfig{}, cmm.WithEngine(cmm.EngineNative))
+	runSim(b, mach, nil, "f", 1000)
+}
+
+func BenchmarkFigure2_CutTo_NativeEngine(b *testing.B) {
+	mach := benchMachine(b, fig2CutSrc, cmm.CompileConfig{}, cmm.WithEngine(cmm.EngineNative))
+	runSim(b, mach, func(res []uint64) error {
+		if res[0] != 42 {
+			return fmt.Errorf("got %d", res[0])
+		}
+		return nil
+	}, "f", 256)
+}
+
 // --- The interpreter itself (the §5 semantics), for completeness ---
 
 func BenchmarkInterpFigure1(b *testing.B) {

@@ -1,9 +1,10 @@
 // Command cmmrun executes a C-- source file. By default it runs the
 // abstract machine of the paper's operational semantics (§5), where
 // programs that "go wrong" report exactly which rule could not fire;
-// with -engine=fast or -engine=ref it compiles the program and runs it
-// on the simulated target machine instead (the threaded-code engine or
-// the reference stepper — simulated costs are identical under both).
+// with -engine=fast, -engine=ref, or -engine=native it compiles the
+// program and runs it on the simulated target machine instead (the
+// threaded-code engine, the reference stepper, or the host-native
+// closure-chain tier — simulated costs are identical under all three).
 //
 // Usage:
 //
@@ -75,7 +76,7 @@ var (
 	optLevel    = flag.Int("O", 0, "optimization level: 0 baseline, 1 scalar+frame optimizations, 2 adds interprocedural pruning and return peepholes")
 	steps       = flag.Bool("steps", false, "print the number of machine transitions (interp engine)")
 	dispatcher  = flag.String("dispatcher", "", "front-end runtime: unwind, exnstack:<global>, or register:<global>")
-	engine      = flag.String("engine", "interp", "execution engine: interp (§5 semantics), fast (threaded code), or ref (reference stepper)")
+	engine      = flag.String("engine", "interp", "execution engine: interp (§5 semantics), fast (threaded code), ref (reference stepper), or native (compiled closure chains)")
 	stats       statsValue
 	traceOut    = flag.String("trace", "", "write an execution trace to this file")
 	traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Trace Event JSON) or text")
@@ -178,9 +179,12 @@ func main() {
 		if stats.set {
 			printInterpStats(in)
 		}
-	case "fast", "ref":
-		if *engine == "ref" {
+	case "fast", "ref", "native":
+		switch *engine {
+		case "ref":
 			opts = append(opts, cmm.WithEngine(cmm.EngineRef))
+		case "native":
+			opts = append(opts, cmm.WithEngine(cmm.EngineNative))
 		}
 		mach, err := mod.Native(cmm.CompileConfig{Opt: *optLevel}, opts...)
 		if err != nil {
@@ -197,7 +201,7 @@ func main() {
 			printMachineStats(mach)
 		}
 	default:
-		fatal("flags", fmt.Errorf("unknown engine %q (want interp, fast, or ref)", *engine))
+		fatal("flags", fmt.Errorf("unknown engine %q (valid engines: interp, fast, ref, native)", *engine))
 	}
 
 	writeObservations(mod, observer)

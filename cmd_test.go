@@ -45,6 +45,36 @@ func TestCmmrunTool(t *testing.T) {
 	}
 }
 
+// TestCmmrunEngineFlag: -engine=native runs the compiled-closure tier
+// with counters identical to the fast engine, and a bad engine name
+// fails with a message listing every valid engine.
+func TestCmmrunEngineFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	var stats [2]string
+	for i, engine := range []string{"fast", "native"} {
+		out := runTool(t, "./cmd/cmmrun", "-engine="+engine, "-run", "sp1", "-args", "10", "-stats=json", "testdata/figure1.cmm")
+		if !strings.Contains(out, "sp1([10]) = [55 3628800") {
+			t.Errorf("-engine=%s output: %s", engine, out)
+		}
+		// Strip the engine name from the stats line so the counter
+		// fields can be compared verbatim across engines.
+		line := strings.TrimSpace(out[strings.Index(out, "{"):])
+		stats[i] = strings.Replace(line, `"engine":"`+engine+`"`, `"engine":"?"`, 1)
+	}
+	if stats[0] != stats[1] {
+		t.Errorf("fast/native counter mismatch:\nfast:   %s\nnative: %s", stats[0], stats[1])
+	}
+
+	out := runToolFail(t, "./cmd/cmmrun", "-engine=turbo", "-run", "sp1", "testdata/figure1.cmm")
+	for _, name := range []string{"interp", "fast", "ref", "native"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("bad-engine error does not list %q: %s", name, out)
+		}
+	}
+}
+
 // TestCmmrunStatsJSON: -stats=json emits the machine counters as a
 // single parseable JSON object for the bench tooling to scrape.
 func TestCmmrunStatsJSON(t *testing.T) {

@@ -86,13 +86,17 @@ type fastOp struct {
 	cyc2       int64
 }
 
-// InvalidateDecode discards the cached pre-decoded program. Replacing
-// m.Code with a new slice invalidates the cache automatically; call this
-// only after mutating instructions of the current slice in place.
+// InvalidateDecode discards the cached pre-decoded program and the
+// native engine's compiled closure chains. Replacing m.Code with a new
+// slice invalidates both caches automatically; call this only after
+// mutating instructions of the current slice in place.
 func (m *Machine) InvalidateDecode() {
 	m.decoded = nil
 	m.decodedPtr = nil
 	m.decodedLen = 0
+	m.native = nil
+	m.nativePtr = nil
+	m.nativeLen = 0
 }
 
 // ensureDecoded (re)builds the decoded program if m.Code or the cost
@@ -135,48 +139,52 @@ func decodeOne(in *Instr, cost Costs) fastOp {
 		width:  int32(in.Width),
 		target: int32(in.Target),
 		imm:    in.Imm,
+		// The per-op cycle delta comes from the shared cost model
+		// (costmodel.go), the same resolution the native engine's run
+		// aggregates are built from.
+		cyc: instrDelta(in, cost).cyc,
 	}
 	switch in.Op {
 	case OpNop:
-		f.code, f.cyc = fNop, cost.ALU
+		f.code = fNop
 	case OpLI:
-		f.code, f.cyc = fLI, cost.ALU
+		f.code = fLI
 	case OpMov:
-		f.code, f.cyc = fMov, cost.ALU
+		f.code = fMov
 	case OpALU:
-		f.code, f.cyc = fALU, cost.ALU
+		f.code = fALU
 		if in.Sub == AAdd {
 			f.code = fAdd
 		}
 	case OpALUI:
-		f.code, f.cyc = fALUI, cost.ALU
+		f.code = fALUI
 		if in.Sub == AAdd {
 			f.code = fAddI
 		}
 	case OpFPU:
-		f.code, f.cyc = fFPU, cost.ALU
+		f.code = fFPU
 	case OpLoad:
-		f.code, f.cyc = fLoad, cost.Load
+		f.code = fLoad
 	case OpStore:
-		f.code, f.cyc = fStore, cost.Store
+		f.code = fStore
 	case OpBZ:
-		f.code, f.cyc = fBZ, cost.Branch
+		f.code = fBZ
 	case OpBNZ:
-		f.code, f.cyc = fBNZ, cost.Branch
+		f.code = fBNZ
 	case OpJmp:
-		f.code, f.cyc = fJmp, cost.Jump
+		f.code = fJmp
 	case OpJmpR:
-		f.code, f.cyc = fJmpR, cost.Jump
+		f.code = fJmpR
 	case OpCall:
-		f.code, f.cyc = fCall, cost.Call
+		f.code = fCall
 	case OpCallR:
-		f.code, f.cyc = fCallR, cost.Call
+		f.code = fCallR
 	case OpRetOff:
-		f.code, f.cyc = fRetOff, cost.Ret
+		f.code = fRetOff
 	case OpYield:
-		f.code, f.cyc = fYield, cost.Yield
+		f.code = fYield
 	case OpForeign:
-		f.code, f.cyc = fForeign, cost.Foreign
+		f.code = fForeign
 	case OpHalt:
 		f.code = fHalt
 	case OpTrap:

@@ -18,9 +18,13 @@ func loopProgram(n int64) []Instr {
 	}
 }
 
-// runBoth executes the same code on both engines from a fresh machine
-// and compares the complete visible state: error, registers, memory,
-// PC, and every counter.
+// allEngines is every execution engine, reference first.
+var allEngines = map[string]Engine{"ref": EngineRef, "fast": EngineFast, "native": EngineNative}
+
+// runBoth executes the same code on all three engines from a fresh
+// machine and compares the complete visible state against the reference
+// engine: error, registers, memory, PC, and every counter. (The name
+// predates the native tier; it returns the ref and fast machines.)
 func runBoth(t *testing.T, code []Instr, setup func(m *Machine)) (*Machine, *Machine) {
 	t.Helper()
 	mk := func(e Engine) (*Machine, error) {
@@ -33,24 +37,30 @@ func runBoth(t *testing.T, code []Instr, setup func(m *Machine)) (*Machine, *Mac
 		return m, m.Run()
 	}
 	ref, errRef := mk(EngineRef)
-	fast, errFast := mk(EngineFast)
-	if (errRef == nil) != (errFast == nil) {
-		t.Fatalf("engines disagree on failure: ref=%v fast=%v", errRef, errFast)
-	}
-	if errRef != nil && errRef.Error() != errFast.Error() {
-		t.Errorf("trap mismatch:\nref:  %v\nfast: %v", errRef, errFast)
-	}
-	if ref.Regs != fast.Regs {
-		t.Errorf("register mismatch:\nref:  %v\nfast: %v", ref.Regs, fast.Regs)
-	}
-	if ref.Stats != fast.Stats {
-		t.Errorf("counter mismatch:\nref:  %+v\nfast: %+v", ref.Stats, fast.Stats)
-	}
-	if ref.PC != fast.PC {
-		t.Errorf("pc mismatch: ref %d fast %d", ref.PC, fast.PC)
-	}
-	if !bytes.Equal(ref.Mem, fast.Mem) {
-		t.Errorf("memory mismatch")
+	var fast *Machine
+	for _, name := range []string{"fast", "native"} {
+		m, err := mk(allEngines[name])
+		if name == "fast" {
+			fast = m
+		}
+		if (errRef == nil) != (err == nil) {
+			t.Fatalf("engines disagree on failure: ref=%v %s=%v", errRef, name, err)
+		}
+		if errRef != nil && errRef.Error() != err.Error() {
+			t.Errorf("trap mismatch:\nref: %v\n%s: %v", errRef, name, err)
+		}
+		if ref.Regs != m.Regs {
+			t.Errorf("%s register mismatch:\nref: %v\n%s: %v", name, ref.Regs, name, m.Regs)
+		}
+		if ref.Stats != m.Stats {
+			t.Errorf("%s counter mismatch:\nref: %+v\n%s: %+v", name, ref.Stats, name, m.Stats)
+		}
+		if ref.PC != m.PC {
+			t.Errorf("pc mismatch: ref %d %s %d", ref.PC, name, m.PC)
+		}
+		if !bytes.Equal(ref.Mem, m.Mem) {
+			t.Errorf("%s memory mismatch", name)
+		}
 	}
 	return ref, fast
 }
@@ -154,11 +164,12 @@ func TestEngineParityBudgetTrap(t *testing.T) {
 	}
 }
 
-// TestEnginesAllocFree asserts the hot loop of BOTH engines allocates
+// TestEnginesAllocFree asserts the hot loop of ALL engines allocates
 // nothing: the reference engine after the reg/set closure fix, the fast
-// engine after its one-time decode.
+// engine after its one-time decode, the native engine after its
+// one-time compile (the trampoline state is reused across runs).
 func TestEnginesAllocFree(t *testing.T) {
-	for name, e := range map[string]Engine{"ref": EngineRef, "fast": EngineFast} {
+	for name, e := range allEngines {
 		t.Run(name, func(t *testing.T) {
 			m := New(1 << 12)
 			m.Engine = e
@@ -214,5 +225,6 @@ func benchEngine(b *testing.B, e Engine) {
 	b.ReportMetric(float64(m.Stats.Instrs)/b.Elapsed().Seconds(), "simInstrs/sec")
 }
 
-func BenchmarkStepLoopRef(b *testing.B)  { benchEngine(b, EngineRef) }
-func BenchmarkStepLoopFast(b *testing.B) { benchEngine(b, EngineFast) }
+func BenchmarkStepLoopRef(b *testing.B)    { benchEngine(b, EngineRef) }
+func BenchmarkStepLoopFast(b *testing.B)   { benchEngine(b, EngineFast) }
+func BenchmarkStepLoopNative(b *testing.B) { benchEngine(b, EngineNative) }

@@ -1,8 +1,8 @@
 // The fast engine: a threaded-code loop over the pre-decoded program
 // (decode.go). It dispatches on a dense opcode with no function call per
-// instruction, keeps the hot counters in locals that are flushed to
-// Stats only at loop exits (halt, trap, yield, foreign call), and
-// executes the decoder's fused superinstructions.
+// instruction, keeps the hot counters in a chunk accumulator
+// (costmodel.go) flushed to Stats only at loop exits (halt, trap, yield,
+// foreign call), and executes the decoder's fused superinstructions.
 //
 // The engine is bit-identical to Step(): registers, memory, PC, and
 // every Counters field match the reference engine after any run,
@@ -23,23 +23,21 @@ func (m *Machine) RunFast() error {
 	m.ensureDecoded()
 	m.halted = false
 	m.runStart = m.Stats.Instrs
+	return m.fastLoop()
+}
+
+// fastLoop drives fastChunk until halt or an error. It is also the
+// native engine's delegate when a run may cross the instruction budget:
+// finishing the run on the fast engine reproduces the exact per-
+// instruction trap point.
+func (m *Machine) fastLoop() error {
+	m.ensureDecoded()
 	for !m.halted {
 		if err := m.fastChunk(); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// fastFlush publishes the loop-local counter state back to the machine.
-func (m *Machine) fastFlush(pc int, total, cycles, loads, stores, branches, calls int64) {
-	m.PC = pc
-	m.Stats.Cycles += cycles
-	m.Stats.Instrs = total
-	m.Stats.Loads += loads
-	m.Stats.Stores += stores
-	m.Stats.Branches += branches
-	m.Stats.Calls += calls
 }
 
 // loadMem reads size bytes little-endian from mem; ok is false when the
@@ -95,59 +93,57 @@ func storeMem(mem []byte, addr, v uint64, size int32) bool {
 
 // fastChunk runs decoded ops until halt, an error, or a callout to the
 // run-time system or a foreign function (which must observe flushed
-// counters and may redirect the PC).
+// counters and may redirect the PC). Counter batching — including the
+// cycle base that keeps event timestamps identical to the reference
+// engine's — lives in chunkAcct (costmodel.go), shared with the native
+// engine.
 func (m *Machine) fastChunk() error {
 	code := m.decoded
 	mem := m.Mem
 	regs := &m.Regs
 	regs[RZero] = 0
 	pc := m.PC
-	limit := m.runStart + m.MaxInstrs
-	total := m.Stats.Instrs
-	var cycles, loads, stores, branches, calls int64
-	// Event timestamps must match the reference engine's, which stamps
-	// with the flushed Stats.Cycles: within a chunk the flushed value is
-	// exactly cycBase + the chunk-local cycle accumulator.
 	obsv := m.Obs
-	cycBase := m.Stats.Cycles
+	var a chunkAcct
+	a.begin(m)
 	for {
 		if uint(pc) >= uint(len(code)) {
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			a.flush(m, pc)
 			return m.trapf("pc out of range")
 		}
 		op := &code[pc]
-		total++
-		if total > limit {
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+		a.total++
+		if a.total > a.limit {
+			a.flush(m, pc)
 			return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
 		}
 		switch op.code {
 		case fNop:
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fLI:
 			if op.rd != RZero {
 				regs[op.rd] = uint64(op.imm)
 			}
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fMov:
 			if op.rd != RZero {
 				regs[op.rd] = regs[op.rs]
 			}
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fAddI:
 			if op.rd != RZero {
 				regs[op.rd] = truncate(regs[op.rs]+uint64(op.imm), int(op.width))
 			}
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fAdd:
 			if op.rd != RZero {
 				regs[op.rd] = truncate(regs[op.rs]+regs[op.rt], int(op.width))
 			}
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fALU, fALUI:
 			var b uint64
@@ -158,47 +154,47 @@ func (m *Machine) fastChunk() error {
 			}
 			v, err := aluOp(op.sub, regs[op.rs], b, int(op.width))
 			if err != nil {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.trapf("%v", err)
 			}
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fFPU:
 			v, err := fpuOp(op.sub, regs[op.rs], regs[op.rt])
 			if err != nil {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.trapf("%v", err)
 			}
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
-			cycles += op.cyc
+			a.cycles += op.cyc
 			pc++
 		case fLoad:
 			addr := regs[op.rs] + uint64(op.imm)
 			v, ok := loadMem(mem, addr, op.size)
 			if !ok {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				_, err := m.LoadWord(addr, int(op.size))
 				return err
 			}
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
-			cycles += op.cyc
-			loads++
+			a.cycles += op.cyc
+			a.loads++
 			pc++
 		case fStore:
 			addr := regs[op.rs] + uint64(op.imm)
 			if !storeMem(mem, addr, regs[op.rt], op.size) {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.StoreWord(addr, regs[op.rt], int(op.size))
 			}
-			cycles += op.cyc
-			stores++
+			a.cycles += op.cyc
+			a.stores++
 			pc++
 		case fBZ:
 			if regs[op.rs] == 0 {
@@ -206,27 +202,27 @@ func (m *Machine) fastChunk() error {
 			} else {
 				pc++
 			}
-			cycles += op.cyc
-			branches++
+			a.cycles += op.cyc
+			a.branches++
 		case fBNZ:
 			if regs[op.rs] != 0 {
 				pc = int(op.target)
 			} else {
 				pc++
 			}
-			cycles += op.cyc
-			branches++
+			a.cycles += op.cyc
+			a.branches++
 		case fJmp:
 			pc = int(op.target)
-			cycles += op.cyc
-			branches++
+			a.cycles += op.cyc
+			a.branches++
 		case fJmpR:
 			v := regs[op.rs]
-			cycles += op.cyc
-			branches++
+			a.cycles += op.cyc
+			a.branches++
 			if fi, isF := ForeignIndex(v); isF {
 				// Tail call to foreign code: run it, return via ra.
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				if err := m.callForeign(fi); err != nil {
 					return err
 				}
@@ -239,29 +235,29 @@ func (m *Machine) fastChunk() error {
 			}
 			idx, ok := CodeIndex(v)
 			if !ok {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.trapf("indirect jump to non-code address %#x", v)
 			}
 			if obsv != nil && op.flags == MarkCut {
-				obsv.Emit(obs.Event{Kind: obs.KCutTo, Ts: cycBase + cycles, Instr: total,
+				obsv.Emit(obs.Event{Kind: obs.KCutTo, Ts: a.ts(), Instr: a.total,
 					PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
 			}
 			pc = idx
 		case fCall:
 			regs[RRA] = CodeAddr(pc + 1)
-			cycles += op.cyc
-			calls++
+			a.cycles += op.cyc
+			a.calls++
 			if obsv != nil {
-				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: cycBase + cycles, Instr: total,
+				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: a.ts(), Instr: a.total,
 					PC: int32(pc), SP: regs[RSP], A: uint64(op.target)})
 			}
 			pc = int(op.target)
 		case fCallR:
-			cycles += op.cyc
-			calls++
+			a.cycles += op.cyc
+			a.calls++
 			if fi, isF := ForeignIndex(regs[op.rs]); isF {
 				// Direct-style call to foreign code: run it and continue.
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				if err := m.callForeign(fi); err != nil {
 					return err
 				}
@@ -272,11 +268,11 @@ func (m *Machine) fastChunk() error {
 			v := regs[op.rs] // re-read: rs may be ra itself
 			idx, ok := CodeIndex(v)
 			if !ok {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.trapf("indirect call to non-code address %#x", v)
 			}
 			if obsv != nil {
-				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: cycBase + cycles, Instr: total,
+				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: a.ts(), Instr: a.total,
 					PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
 			}
 			pc = idx
@@ -284,24 +280,24 @@ func (m *Machine) fastChunk() error {
 			ra := regs[RRA]
 			idx, ok := CodeIndex(ra)
 			if !ok {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.trapf("return with corrupt ra %#x", ra)
 			}
 			next := idx + int(op.imm)
-			cycles += op.cyc
-			branches++
+			a.cycles += op.cyc
+			a.branches++
 			if obsv != nil {
 				k := obs.KReturn
 				if op.flags == MarkAltReturn {
 					k = obs.KAltReturn
 				}
-				obsv.Emit(obs.Event{Kind: k, Ts: cycBase + cycles, Instr: total,
+				obsv.Emit(obs.Event{Kind: k, Ts: a.ts(), Instr: a.total,
 					PC: int32(pc), SP: regs[RSP], A: uint64(next), B: uint64(op.imm)})
 			}
 			pc = next
 		case fYield:
-			cycles += op.cyc
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			a.cycles += op.cyc
+			a.flush(m, pc)
 			m.Stats.Yields++
 			if obsv != nil {
 				obsv.Emit(obs.Event{Kind: obs.KYield, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
@@ -316,8 +312,8 @@ func (m *Machine) fastChunk() error {
 			}
 			return nil // handler set PC
 		case fForeign:
-			cycles += op.cyc
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			a.cycles += op.cyc
+			a.flush(m, pc)
 			m.PC = pc + 1
 			if err := m.callForeign(int(op.imm)); err != nil {
 				return err
@@ -325,10 +321,10 @@ func (m *Machine) fastChunk() error {
 			return nil
 		case fHalt:
 			m.halted = true
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			a.flush(m, pc)
 			return nil
 		case fTrap:
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			a.flush(m, pc)
 			return m.trapf("trap: %s", m.Code[pc].Sym)
 		case fALUBZ, fALUBNZ, fALUIBZ, fALUIBNZ:
 			var b uint64
@@ -339,14 +335,14 @@ func (m *Machine) fastChunk() error {
 			}
 			v, _ := aluOp(op.sub, regs[op.rs], b, int(op.width)) // fused subs never trap
 			regs[op.rd] = v                                      // fused only when rd != zero
-			cycles += op.cyc
-			total++
-			if total > limit {
-				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+			a.cycles += op.cyc
+			a.total++
+			if a.total > a.limit {
+				a.flush(m, pc+1)
 				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
 			}
-			cycles += op.cyc2
-			branches++
+			a.cycles += op.cyc2
+			a.branches++
 			taken := v == 0
 			if op.code == fALUBNZ || op.code == fALUIBNZ {
 				taken = !taken
@@ -360,18 +356,18 @@ func (m *Machine) fastChunk() error {
 			addr := regs[op.rs] + uint64(op.imm)
 			v, ok := loadMem(mem, addr, op.size)
 			if !ok {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				_, err := m.LoadWord(addr, int(op.size))
 				return err
 			}
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
-			cycles += op.cyc
-			loads++
-			total++
-			if total > limit {
-				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+			a.cycles += op.cyc
+			a.loads++
+			a.total++
+			if a.total > a.limit {
+				a.flush(m, pc+1)
 				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
 			}
 			var b uint64
@@ -384,62 +380,62 @@ func (m *Machine) fastChunk() error {
 			if op.rd2 != RZero {
 				regs[op.rd2] = v2
 			}
-			cycles += op.cyc2
+			a.cycles += op.cyc2
 			pc += 2
 		case fLoadLoad:
 			addr := regs[op.rs] + uint64(op.imm)
 			v, ok := loadMem(mem, addr, op.size)
 			if !ok {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				_, err := m.LoadWord(addr, int(op.size))
 				return err
 			}
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
-			cycles += op.cyc
-			loads++
-			total++
-			if total > limit {
-				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+			a.cycles += op.cyc
+			a.loads++
+			a.total++
+			if a.total > a.limit {
+				a.flush(m, pc+1)
 				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
 			}
 			addr2 := regs[op.rs2] + uint64(op.imm2)
 			v2, ok := loadMem(mem, addr2, op.size2)
 			if !ok {
-				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc+1)
 				_, err := m.LoadWord(addr2, int(op.size2))
 				return err
 			}
 			if op.rd2 != RZero {
 				regs[op.rd2] = v2
 			}
-			cycles += op.cyc2
-			loads++
+			a.cycles += op.cyc2
+			a.loads++
 			pc += 2
 		case fStoreSt:
 			addr := regs[op.rs] + uint64(op.imm)
 			if !storeMem(mem, addr, regs[op.rt], op.size) {
-				m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc)
 				return m.StoreWord(addr, regs[op.rt], int(op.size))
 			}
-			cycles += op.cyc
-			stores++
-			total++
-			if total > limit {
-				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+			a.cycles += op.cyc
+			a.stores++
+			a.total++
+			if a.total > a.limit {
+				a.flush(m, pc+1)
 				return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
 			}
 			addr2 := regs[op.rs2] + uint64(op.imm2)
 			if !storeMem(mem, addr2, regs[op.rt2], op.size2) {
-				m.fastFlush(pc+1, total, cycles, loads, stores, branches, calls)
+				a.flush(m, pc+1)
 				return m.StoreWord(addr2, regs[op.rt2], int(op.size2))
 			}
-			cycles += op.cyc2
-			stores++
+			a.cycles += op.cyc2
+			a.stores++
 			pc += 2
 		default: // fIllegal
-			m.fastFlush(pc, total, cycles, loads, stores, branches, calls)
+			a.flush(m, pc)
 			return m.trapf("illegal opcode %d", op.imm)
 		}
 	}

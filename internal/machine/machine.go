@@ -259,6 +259,11 @@ const (
 	// EngineRef is the reference engine: one Step() per instruction,
 	// a direct transcription of the instruction semantics.
 	EngineRef
+	// EngineNative is the host-native tier: it compiles the program to
+	// chains of Go closures (native.go) — no decode loop, no opcode
+	// switch — charging pre-computed per-run counter aggregates
+	// (costmodel.go) instead of counting per instruction.
+	EngineNative
 )
 
 // Machine is the simulated CPU plus memory.
@@ -296,6 +301,14 @@ type Machine struct {
 	decodedPtr  *Instr
 	decodedLen  int
 	decodedCost Costs
+
+	// Compiled closure chains for the native engine, cached under the
+	// same policy (native.go), plus the reusable trampoline state.
+	native     *natProg
+	nativePtr  *Instr
+	nativeLen  int
+	nativeCost Costs
+	natSt      *natState
 }
 
 // TrapError reports that the machine executed a trap or an illegal
@@ -348,8 +361,11 @@ func (m *Machine) Halted() bool { return m.halted }
 // argument registers first. The execution loop is chosen by m.Engine;
 // simulated counters are bit-identical either way.
 func (m *Machine) Run() error {
-	if m.Engine == EngineFast {
+	switch m.Engine {
+	case EngineFast:
 		return m.RunFast()
+	case EngineNative:
+		return m.RunNative()
 	}
 	m.halted = false
 	m.runStart = m.Stats.Instrs
@@ -391,14 +407,16 @@ func signExtend(v uint64, width int) int64 {
 	return int64(v<<shift) >> shift
 }
 
-// Step executes one instruction.
+// Step executes one instruction. The check order — pc range before the
+// instruction count and budget — matches the batched engines, which
+// cannot charge an instruction they failed to fetch.
 func (m *Machine) Step() error {
+	if m.PC < 0 || m.PC >= len(m.Code) {
+		return m.trapf("pc out of range")
+	}
 	m.Stats.Instrs++
 	if m.Stats.Instrs-m.runStart > m.MaxInstrs {
 		return m.trapf("instruction budget exceeded (%d): possible divergence", m.MaxInstrs)
-	}
-	if m.PC < 0 || m.PC >= len(m.Code) {
-		return m.trapf("pc out of range")
 	}
 	in := m.Code[m.PC]
 	next := m.PC + 1

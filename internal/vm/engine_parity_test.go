@@ -13,10 +13,11 @@ import (
 )
 
 // The engine-parity suite: the fast threaded-code engine and the
-// reference stepper must produce bit-identical observable state —
-// results, every register, all of simulated memory, and every Counters
-// field — on the paper figures, on dispatcher-driven yields, and on a
-// randomized program sweep. The cost-model numbers ARE the paper
+// native closure-compiled engine must both produce bit-identical
+// observable state against the reference stepper — results, every
+// register, all of simulated memory, and every Counters field — on the
+// paper figures, on dispatcher-driven yields, and on a randomized
+// program sweep, at -O0 and -O2. The cost-model numbers ARE the paper
 // reproduction, so this suite is what licenses engine optimizations.
 
 // engineState is the complete observable outcome of one run.
@@ -51,46 +52,60 @@ func runOnEngine(t *testing.T, cp *codegen.Program, e machine.Engine, budget int
 	return st
 }
 
+// batchedEngines are the engines checked against the reference stepper.
+var batchedEngines = []struct {
+	name string
+	e    machine.Engine
+}{
+	{"fast", machine.EngineFast},
+	{"native", machine.EngineNative},
+}
+
 func compareEngines(t *testing.T, label string, cp *codegen.Program, proc string, args []uint64, opts ...Option) engineState {
 	t.Helper()
 	ref := runOnEngine(t, cp, machine.EngineRef, parityBudget, proc, args, opts...)
-	fast := runOnEngine(t, cp, machine.EngineFast, parityBudget, proc, args, opts...)
-	if ref.err != fast.err {
-		t.Errorf("%s %s%v: trap mismatch\nref:  %q\nfast: %q", label, proc, args, ref.err, fast.err)
-		return ref
-	}
-	if ref.err == "" {
-		for i := range ref.res {
-			if ref.res[i] != fast.res[i] {
-				t.Errorf("%s %s%v result %d: ref %d fast %d", label, proc, args, i, ref.res[i], fast.res[i])
+	for _, be := range batchedEngines {
+		got := runOnEngine(t, cp, be.e, parityBudget, proc, args, opts...)
+		if ref.err != got.err {
+			t.Errorf("%s %s%v: trap mismatch\nref:  %q\n%s: %q", label, proc, args, ref.err, be.name, got.err)
+			continue
+		}
+		if ref.err == "" {
+			for i := range ref.res {
+				if ref.res[i] != got.res[i] {
+					t.Errorf("%s %s%v result %d: ref %d %s %d", label, proc, args, i, ref.res[i], be.name, got.res[i])
+				}
 			}
 		}
-	}
-	if ref.stats != fast.stats {
-		t.Errorf("%s %s%v: counter mismatch\nref:  %+v\nfast: %+v", label, proc, args, ref.stats, fast.stats)
-	}
-	if ref.regs != fast.regs {
-		t.Errorf("%s %s%v: register mismatch\nref:  %v\nfast: %v", label, proc, args, ref.regs, fast.regs)
-	}
-	if !bytes.Equal(ref.mem, fast.mem) {
-		t.Errorf("%s %s%v: simulated memory mismatch", label, proc, args)
+		if ref.stats != got.stats {
+			t.Errorf("%s %s%v: counter mismatch\nref:  %+v\n%s: %+v", label, proc, args, ref.stats, be.name, got.stats)
+		}
+		if ref.regs != got.regs {
+			t.Errorf("%s %s%v: register mismatch\nref:  %v\n%s: %v", label, proc, args, ref.regs, be.name, got.regs)
+		}
+		if !bytes.Equal(ref.mem, got.mem) {
+			t.Errorf("%s %s%v: simulated memory mismatch vs %s", label, proc, args, be.name)
+		}
 	}
 	return ref
 }
 
 func TestEngineParityFigure1(t *testing.T) {
-	cp := compile(t, paper.Figure1, codegen.Options{})
-	for _, proc := range []string{"sp1", "sp2", "sp3"} {
-		for _, n := range []uint64{0, 1, 5, 20} {
-			compareEngines(t, "figure1", cp, proc, []uint64{n})
+	for _, opt := range []int{0, 2} {
+		cp := compile(t, paper.Figure1, codegen.Options{Opt: opt})
+		for _, proc := range []string{"sp1", "sp2", "sp3"} {
+			for _, n := range []uint64{0, 1, 5, 20} {
+				compareEngines(t, fmt.Sprintf("figure1/-O%d", opt), cp, proc, []uint64{n})
+			}
 		}
 	}
 }
 
 // TestEngineParityRandomSweep is the seeded differential sweep required
 // for any engine change: ≥50 random programs (with and without
-// exceptional control flow) on several inputs, fast vs. reference,
-// asserting bit-identical results AND simulated counters.
+// exceptional control flow) on several inputs, fast and native vs.
+// reference, at -O0 and -O2, asserting bit-identical results AND
+// simulated counters.
 func TestEngineParityRandomSweep(t *testing.T) {
 	seeds := 60
 	if testing.Short() {
@@ -99,9 +114,11 @@ func TestEngineParityRandomSweep(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		for _, exc := range []bool{false, true} {
 			src := progen.Generate(int64(seed), progen.Config{Exceptions: exc})
-			cp := compile(t, src, codegen.Options{})
-			for _, arg := range []uint64{0, 1, 7, 100} {
-				compareEngines(t, fmt.Sprintf("seed=%d/exc=%v", seed, exc), cp, "p0", []uint64{arg})
+			for _, opt := range []int{0, 2} {
+				cp := compile(t, src, codegen.Options{Opt: opt})
+				for _, arg := range []uint64{0, 1, 7, 100} {
+					compareEngines(t, fmt.Sprintf("seed=%d/exc=%v/-O%d", seed, exc, opt), cp, "p0", []uint64{arg})
+				}
 			}
 		}
 	}

@@ -12,10 +12,11 @@ import (
 )
 
 // The observability parity suite extends the engine-parity contract to
-// the event layer: with an observer attached, the reference stepper and
-// the fast threaded-code engine must emit IDENTICAL event streams —
-// same kinds, same simulated-cycle timestamps, same payloads — and
-// attaching an observer must not perturb the simulated counters at all.
+// the event layer: with an observer attached, the reference stepper,
+// the fast threaded-code engine, and the native closure-compiled engine
+// must emit IDENTICAL event streams — same kinds, same simulated-cycle
+// timestamps, same payloads — and attaching an observer must not
+// perturb the simulated counters at all.
 
 // runWithObserver runs proc on one engine with a fresh observer and
 // returns the observer plus the engine state.
@@ -27,22 +28,22 @@ func runWithObserver(t *testing.T, cp *codegen.Program, e machine.Engine, proc s
 }
 
 // diffEvents reports the first mismatch between two event streams.
-func diffEvents(t *testing.T, label string, ref, fast []obs.Event) {
+func diffEvents(t *testing.T, label string, ref, got []obs.Event) {
 	t.Helper()
-	if reflect.DeepEqual(ref, fast) {
+	if reflect.DeepEqual(ref, got) {
 		return
 	}
 	n := len(ref)
-	if len(fast) < n {
-		n = len(fast)
+	if len(got) < n {
+		n = len(got)
 	}
 	for i := 0; i < n; i++ {
-		if ref[i] != fast[i] {
-			t.Errorf("%s: event %d differs\nref:  %+v\nfast: %+v", label, i, ref[i], fast[i])
+		if ref[i] != got[i] {
+			t.Errorf("%s: event %d differs\nref:   %+v\nother: %+v", label, i, ref[i], got[i])
 			return
 		}
 	}
-	t.Errorf("%s: event count differs: ref %d, fast %d", label, len(ref), len(fast))
+	t.Errorf("%s: event count differs: ref %d, other %d", label, len(ref), len(got))
 }
 
 // TestObsEventStreamParityRandomSweep is the randomized differential
@@ -57,15 +58,19 @@ func TestObsEventStreamParityRandomSweep(t *testing.T) {
 	for seed := 0; seed < seeds; seed++ {
 		for _, exc := range []bool{false, true} {
 			src := progen.Generate(int64(seed), progen.Config{Exceptions: exc})
-			cp := compile(t, src, codegen.Options{})
-			for _, arg := range []uint64{0, 7, 100} {
-				label := fmt.Sprintf("seed=%d/exc=%v/arg=%d", seed, exc, arg)
-				oRef, stRef := runWithObserver(t, cp, machine.EngineRef, "p0", []uint64{arg})
-				oFast, stFast := runWithObserver(t, cp, machine.EngineFast, "p0", []uint64{arg})
-				if stRef.err != stFast.err {
-					t.Fatalf("%s: trap mismatch: ref %q fast %q", label, stRef.err, stFast.err)
+			for _, opt := range []int{0, 2} {
+				cp := compile(t, src, codegen.Options{Opt: opt})
+				for _, arg := range []uint64{0, 7, 100} {
+					label := fmt.Sprintf("seed=%d/exc=%v/-O%d/arg=%d", seed, exc, opt, arg)
+					oRef, stRef := runWithObserver(t, cp, machine.EngineRef, "p0", []uint64{arg})
+					for _, be := range batchedEngines {
+						oGot, stGot := runWithObserver(t, cp, be.e, "p0", []uint64{arg})
+						if stRef.err != stGot.err {
+							t.Fatalf("%s: trap mismatch: ref %q %s %q", label, stRef.err, be.name, stGot.err)
+						}
+						diffEvents(t, label+"/"+be.name, oRef.Trace, oGot.Trace)
+					}
 				}
-				diffEvents(t, label, oRef.Trace, oFast.Trace)
 			}
 		}
 	}
@@ -80,15 +85,19 @@ func TestObsEventStreamParityDispatch(t *testing.T) {
 	cut := compile(t, cutParitySrc, codegen.Options{})
 	for _, depth := range []uint64{0, 1, 4, 32} {
 		oRef, _ := runWithObserver(t, unwind, machine.EngineRef, "f", []uint64{depth}, WithRuntime(RuntimeFunc(unwindWalker)))
-		oFast, _ := runWithObserver(t, unwind, machine.EngineFast, "f", []uint64{depth}, WithRuntime(RuntimeFunc(unwindWalker)))
-		diffEvents(t, fmt.Sprintf("unwind depth=%d", depth), oRef.Trace, oFast.Trace)
+		for _, be := range batchedEngines {
+			oGot, _ := runWithObserver(t, unwind, be.e, "f", []uint64{depth}, WithRuntime(RuntimeFunc(unwindWalker)))
+			diffEvents(t, fmt.Sprintf("unwind depth=%d/%s", depth, be.name), oRef.Trace, oGot.Trace)
+		}
 		if depth > 0 && oRef.Count(obs.KUnwindStep) == 0 {
 			t.Errorf("unwind depth=%d: no unwind-step events recorded", depth)
 		}
 
 		oRef, _ = runWithObserver(t, cut, machine.EngineRef, "f", []uint64{depth}, WithRuntime(RuntimeFunc(cutWalker)))
-		oFast, _ = runWithObserver(t, cut, machine.EngineFast, "f", []uint64{depth}, WithRuntime(RuntimeFunc(cutWalker)))
-		diffEvents(t, fmt.Sprintf("cut depth=%d", depth), oRef.Trace, oFast.Trace)
+		for _, be := range batchedEngines {
+			oGot, _ := runWithObserver(t, cut, be.e, "f", []uint64{depth}, WithRuntime(RuntimeFunc(cutWalker)))
+			diffEvents(t, fmt.Sprintf("cut depth=%d/%s", depth, be.name), oRef.Trace, oGot.Trace)
+		}
 		if oRef.Count(obs.KResumeCut) == 0 {
 			t.Errorf("cut depth=%d: no resume-cut event recorded", depth)
 		}
@@ -106,7 +115,7 @@ func TestObsDisabledPathBitIdentical(t *testing.T) {
 	}
 	check := func(label string, cp *codegen.Program, proc string, args []uint64, opts ...Option) {
 		t.Helper()
-		for _, e := range []machine.Engine{machine.EngineRef, machine.EngineFast} {
+		for _, e := range []machine.Engine{machine.EngineRef, machine.EngineFast, machine.EngineNative} {
 			bare := runOnEngine(t, cp, e, parityBudget, proc, args, opts...)
 			_, observed := runWithObserver(t, cp, e, proc, args, opts...)
 			if bare.err != observed.err {

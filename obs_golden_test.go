@@ -88,23 +88,34 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // TestObsGoldenTraces pins the Chrome-trace and metrics JSON each
 // mechanism produces on the depth-4 Figure 2 scenario. Runtime-only
 // traces (no ObserveCompile) are fully deterministic: timestamps are
-// simulated cycles, and metrics maps marshal with sorted keys.
+// simulated cycles, and metrics maps marshal with sorted keys. The
+// native engine must reproduce the SAME golden bytes as the fast engine
+// — the goldens are engine-independent by construction (the -update
+// flag rewrites from the fast engine only).
 func TestObsGoldenTraces(t *testing.T) {
 	for _, mech := range obsMechanisms() {
 		t.Run(mech.name, func(t *testing.T) {
-			o := observeMechanism(t, mech, cmm.EngineFast, 4)
+			for _, eng := range []struct {
+				name string
+				e    cmm.Engine
+			}{{"fast", cmm.EngineFast}, {"native", cmm.EngineNative}} {
+				if *updateGolden && eng.name != "fast" {
+					continue
+				}
+				o := observeMechanism(t, mech, eng.e, 4)
 
-			var trace bytes.Buffer
-			if err := o.WriteChromeTrace(&trace); err != nil {
-				t.Fatal(err)
-			}
-			checkGolden(t, mech.name+".trace.json", trace.Bytes())
+				var trace bytes.Buffer
+				if err := o.WriteChromeTrace(&trace); err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, mech.name+".trace.json", trace.Bytes())
 
-			metrics, err := o.Metrics().JSON()
-			if err != nil {
-				t.Fatal(err)
+				metrics, err := o.Metrics().JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, mech.name+".metrics.json", metrics)
 			}
-			checkGolden(t, mech.name+".metrics.json", metrics)
 		})
 	}
 }
@@ -140,22 +151,28 @@ func TestObsMechanismSignatures(t *testing.T) {
 }
 
 // TestObsEngineEventParityRoot extends the engine-parity contract to the
-// dispatcher-driven paths only reachable through the public API: both
-// engines must emit identical event streams under every mechanism.
+// dispatcher-driven paths only reachable through the public API: every
+// engine must emit identical event streams under every mechanism.
 func TestObsEngineEventParityRoot(t *testing.T) {
+	engines := []struct {
+		name string
+		e    cmm.Engine
+	}{{"fast", cmm.EngineFast}, {"native", cmm.EngineNative}}
 	for _, mech := range obsMechanisms() {
 		for _, depth := range []uint64{0, 4, 32} {
 			ref := observeMechanism(t, mech, cmm.EngineRef, depth)
-			fast := observeMechanism(t, mech, cmm.EngineFast, depth)
-			label := fmt.Sprintf("%s depth=%d", mech.name, depth)
-			if len(ref.Trace) != len(fast.Trace) {
-				t.Errorf("%s: event count differs: ref %d, fast %d", label, len(ref.Trace), len(fast.Trace))
-				continue
-			}
-			for i := range ref.Trace {
-				if ref.Trace[i] != fast.Trace[i] {
-					t.Errorf("%s: event %d differs\nref:  %+v\nfast: %+v", label, i, ref.Trace[i], fast.Trace[i])
-					break
+			for _, eng := range engines {
+				got := observeMechanism(t, mech, eng.e, depth)
+				label := fmt.Sprintf("%s depth=%d %s", mech.name, depth, eng.name)
+				if len(ref.Trace) != len(got.Trace) {
+					t.Errorf("%s: event count differs: ref %d, %s %d", label, len(ref.Trace), eng.name, len(got.Trace))
+					continue
+				}
+				for i := range ref.Trace {
+					if ref.Trace[i] != got.Trace[i] {
+						t.Errorf("%s: event %d differs\nref:   %+v\nother: %+v", label, i, ref.Trace[i], got.Trace[i])
+						break
+					}
 				}
 			}
 		}

@@ -122,7 +122,9 @@ func normalizeTrap(trap string) string { return trapPC.ReplaceAllString(trap, "p
 // TestOptLevelDifferentialSweep runs randomized progen programs —
 // exceptions on and off, several inputs — at -O0 and -O2 and requires
 // identical results, identical traps, and identical observable event
-// streams. The seed range is CMM_SWEEP_SEEDS-configurable so CI can
+// streams. Each level additionally runs on all three engines
+// (ref/fast/native), which must agree exactly with each other at that
+// level. The seed range is CMM_SWEEP_SEEDS-configurable so CI can
 // widen it without a code change.
 func TestOptLevelDifferentialSweep(t *testing.T) {
 	lo, hi := sweepSeeds(t)
@@ -133,6 +135,31 @@ func TestOptLevelDifferentialSweep(t *testing.T) {
 				label := fmt.Sprintf("seed=%d/exc=%v/arg=%d", seed, exc, arg)
 				res0, trap0, sig0 := runAtLevel(t, src, 0, cmm.EngineFast, "p0", arg)
 				res2, trap2, sig2 := runAtLevel(t, src, 2, cmm.EngineFast, "p0", arg)
+				// Within one level the engines are bit-identical, so the
+				// three-way comparison is exact: same results, same trap
+				// text, same full event stream.
+				for _, eng := range []struct {
+					name string
+					e    cmm.Engine
+				}{{"ref", cmm.EngineRef}, {"native", cmm.EngineNative}} {
+					for _, lv := range []struct {
+						level int
+						res   []uint64
+						trap  string
+						sig   []string
+					}{{0, res0, trap0, sig0}, {2, res2, trap2, sig2}} {
+						rE, tE, sE := runAtLevel(t, src, lv.level, eng.e, "p0", arg)
+						elabel := fmt.Sprintf("%s/-O%d/%s", label, lv.level, eng.name)
+						if tE != lv.trap {
+							t.Errorf("%s: trap mismatch vs fast: %q vs %q", elabel, tE, lv.trap)
+							continue
+						}
+						if fmt.Sprint(rE) != fmt.Sprint(lv.res) {
+							t.Errorf("%s: result mismatch vs fast: %v vs %v", elabel, rE, lv.res)
+						}
+						diffSignatures(t, elabel, lv.sig, sE, false)
+					}
+				}
 				// A budget trap is a resource limit, not program
 				// semantics: the optimized code retires fewer
 				// instructions, so it truncates the same execution at a
@@ -161,7 +188,7 @@ func TestOptLevelDifferentialSweep(t *testing.T) {
 }
 
 // TestOptLevelEngineParity reruns every optimizer workload at -O2 on
-// both engines: results and every simulated cost counter must be
+// all three engines: results and every simulated cost counter must be
 // bit-identical, so the optimization layer cannot introduce an
 // engine-dependent path.
 func TestOptLevelEngineParity(t *testing.T) {
@@ -196,12 +223,14 @@ func TestOptLevelEngineParity(t *testing.T) {
 				return res, mach.Stats()
 			}
 			refRes, refStats := run(cmm.EngineRef)
-			fastRes, fastStats := run(cmm.EngineFast)
-			if fmt.Sprint(refRes) != fmt.Sprint(fastRes) {
-				t.Errorf("result mismatch: ref %v fast %v", refRes, fastRes)
-			}
-			if refStats != fastStats {
-				t.Errorf("counter mismatch at -O2:\nref:  %+v\nfast: %+v", refStats, fastStats)
+			for _, e := range []cmm.Engine{cmm.EngineFast, cmm.EngineNative} {
+				gotRes, gotStats := run(e)
+				if fmt.Sprint(refRes) != fmt.Sprint(gotRes) {
+					t.Errorf("result mismatch: ref %v engine %v %v", refRes, e, gotRes)
+				}
+				if refStats != gotStats {
+					t.Errorf("counter mismatch at -O2:\nref:      %+v\nengine %v: %+v", refStats, e, gotStats)
+				}
 			}
 		})
 	}

@@ -52,7 +52,7 @@ const DivZeroTag = dispatch.DivZeroTag
 // value-passing area's contents and returns results for it.
 type Foreign func(args []uint64) ([]uint64, error)
 
-// Engine selects the simulated machine's execution loop. Both engines
+// Engine selects the simulated machine's execution loop. All engines
 // implement the cost model bit-for-bit — simulated cycles, instruction
 // counts, and memory traffic are identical — and differ only in host
 // wall-clock speed. The parity suite in internal/vm asserts this on
@@ -65,6 +65,10 @@ const (
 	EngineFast = machine.EngineFast
 	// EngineRef is the reference engine: one Step() per instruction.
 	EngineRef = machine.EngineRef
+	// EngineNative is the host-native tier: each basic block becomes a
+	// compiled Go closure chained by direct calls, with cycle accounting
+	// decoupled into per-block deltas aggregated at compile time.
+	EngineNative = machine.EngineNative
 )
 
 // Observer is a structured event and metrics sink for one execution:
