@@ -15,6 +15,7 @@
 //	go run ./cmd/cmmbench -olevels                        # -O0 vs -O2 table
 //	go run ./cmd/cmmbench -olevels -json BENCH_pr5.json   # + JSON report
 //	go run ./cmd/cmmbench -olevels -goldens testdata/bench
+//	go run ./cmd/cmmbench -report -json BENCH_pr8.json    # combined report
 //
 // -bench measures host throughput (ns/op and simulated instructions
 // retired per host second) of both execution engines on fixed workloads
@@ -27,6 +28,13 @@
 // -goldens DIR diffs every row against DIR/<name>.golden and exits
 // non-zero on any drift (the CI bench-smoke gate); -write-goldens DIR
 // rewrites the golden files instead.
+//
+// -report runs both the -olevels and -engines measurements and, with
+// -json, writes one combined report. JSON reports from -olevels,
+// -engines, and -report carry a schema_version plus host metadata
+// (GOOS/GOARCH, CPU count, Go version) so the cmmreport regression
+// sentinel can tell which numbers are comparable across files:
+// simulated cycles always are; host throughput only on the same host.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -47,11 +56,51 @@ var (
 	benchMode    = flag.Bool("bench", false, "measure host throughput of both engines instead of printing figure tables")
 	enginesMode  = flag.Bool("engines", false, "measure host throughput of all three engines on the fixed workloads")
 	olevelsMode  = flag.Bool("olevels", false, "measure simulated cycles of the fixed workloads at -O0 and -O2")
+	reportMode   = flag.Bool("report", false, "run both the -olevels and -engines measurements; with -json, write one combined report for the cmmreport sentinel")
 	outFile      = flag.String("out", "", "write output to this file instead of stdout")
-	jsonOut      = flag.String("json", "", "with -olevels, also write the report as JSON to this file")
+	jsonOut      = flag.String("json", "", "with -olevels/-engines/-report, also write the report as JSON to this file")
 	goldenDir    = flag.String("goldens", "", "with -olevels, diff results against DIR/<name>.golden and fail on drift")
 	writeGoldens = flag.String("write-goldens", "", "with -olevels, rewrite DIR/<name>.golden from the measured results")
 )
+
+// benchSchemaVersion versions the JSON reports cmmbench writes. Version
+// 2 added the envelope itself (schema_version, host, engine_names) and
+// the kernel columns of the engines rows; version-1 files are the bare
+// {"olevels":...} / {"engines":...} / {"benchmarks":...} objects
+// earlier PRs checked in, which cmmreport still accepts.
+const benchSchemaVersion = 2
+
+// benchHost records where a report's host-time numbers were measured.
+// The cmmreport sentinel only compares throughput between reports whose
+// host metadata is identical; simulated cycles need no such gate.
+type benchHost struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+func hostMeta() benchHost {
+	return benchHost{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// envelope wraps a report body in the v2 schema header.
+func envelope(engineNames []string, body map[string]any) map[string]any {
+	out := map[string]any{
+		"schema_version": benchSchemaVersion,
+		"host":           hostMeta(),
+		"engine_names":   engineNames,
+	}
+	for k, v := range body {
+		out[k] = v
+	}
+	return out
+}
 
 func main() {
 	flag.Parse()
@@ -68,6 +117,8 @@ func main() {
 	switch {
 	case *benchMode:
 		err = writeBench(out)
+	case *reportMode:
+		err = writeReport(out)
 	case *enginesMode:
 		err = writeEngines(out)
 	case *olevelsMode:
@@ -323,11 +374,7 @@ func goldenText(r oLevelRow) string {
 	return fmt.Sprintf("O0 %d\nO2 %d\n", r.O0Cycles, r.O2Cycles)
 }
 
-func writeOLevels(out *os.File) error {
-	rows, err := measureOLevels()
-	if err != nil {
-		return err
-	}
+func printOLevelsTable(out *os.File, rows []oLevelRow) {
 	fmt.Fprintln(out, "## Summary-driven optimizer — simulated cycles at -O0 vs -O2")
 	fmt.Fprintln(out)
 	fmt.Fprintln(out, "| workload | -O0 cycles | -O2 cycles | reduction |")
@@ -339,16 +386,29 @@ func writeOLevels(out *os.File) error {
 	fmt.Fprintln(out, "Cycles are deterministic simulated counts of one run per workload")
 	fmt.Fprintln(out, "(exact, not sampled); every -O2 run's results and observable events")
 	fmt.Fprintln(out, "are asserted identical to -O0 by the differential sweep.")
+}
+
+// writeJSONReport writes an enveloped v2 report to the -json file.
+func writeJSONReport(engineNames []string, body map[string]any) error {
+	f, err := os.Create(*jsonOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(envelope(engineNames, body))
+}
+
+func writeOLevels(out *os.File) error {
+	rows, err := measureOLevels()
+	if err != nil {
+		return err
+	}
+	printOLevelsTable(out, rows)
 
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(map[string]any{"olevels": rows}); err != nil {
+		if err := writeJSONReport([]string{"fast"}, map[string]any{"olevels": rows}); err != nil {
 			return err
 		}
 	}
@@ -481,14 +541,19 @@ var throughputArgs = map[string][]uint64{
 
 // engineRow is one workload of the -engines JSON report: host
 // throughput of each engine on identical simulated work, plus the
-// native-tier speedup over the fast engine.
+// native-tier speedup over the fast engine and its kernel coverage
+// (the share of retired instructions charged by distilled closed-form
+// kernels rather than executed one chain at a time — deterministic,
+// from the engine telemetry of a single run).
 type engineRow struct {
-	Name            string             `json:"name"`
-	Args            []uint64           `json:"args"`
-	SimInstrsPerOp  int64              `json:"sim_instrs_per_op"`
-	NsPerOp         map[string]float64 `json:"ns_per_op"`
-	SimInstrsPerSec map[string]float64 `json:"sim_instrs_per_sec"`
-	NativeVsFast    float64            `json:"native_vs_fast"`
+	Name              string             `json:"name"`
+	Args              []uint64           `json:"args"`
+	SimInstrsPerOp    int64              `json:"sim_instrs_per_op"`
+	NsPerOp           map[string]float64 `json:"ns_per_op"`
+	SimInstrsPerSec   map[string]float64 `json:"sim_instrs_per_sec"`
+	NativeVsFast      float64            `json:"native_vs_fast"`
+	KernelInstrsPerOp int64              `json:"kernel_instrs_per_op"`
+	KernelHitPct      float64            `json:"kernel_hit_pct"`
 }
 
 var engineOrder = []struct {
@@ -553,43 +618,89 @@ func measureEngines(w paper.CycleWorkload) (engineRow, error) {
 		}
 		row.NsPerOp[eng.name] = nsPerOp
 		row.SimInstrsPerSec[eng.name] = float64(instrsPerOp) / (nsPerOp / 1e9)
+		if eng.e == cmm.EngineNative {
+			// Kernel coverage from one clean run's telemetry (ResetStats
+			// zeroes the telemetry along with the counters).
+			mach.ResetStats()
+			if _, err := mach.Run(w.Proc, row.Args...); err != nil {
+				return row, fmt.Errorf("%s/%s: %v", w.Name, eng.name, err)
+			}
+			t := mach.Telemetry()
+			row.KernelInstrsPerOp = t.KernelInstrs
+			if instrsPerOp > 0 {
+				row.KernelHitPct = 100 * float64(t.KernelInstrs) / float64(instrsPerOp)
+			}
+		}
 	}
 	row.NativeVsFast = row.SimInstrsPerSec["native"] / row.SimInstrsPerSec["fast"]
 	return row, nil
 }
 
-func writeEngines(out *os.File) error {
+func measureAllEngines() ([]engineRow, error) {
 	var rows []engineRow
 	for _, w := range paper.CycleWorkloads {
 		row, err := measureEngines(w)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rows = append(rows, row)
 	}
+	return rows, nil
+}
+
+func printEnginesTable(out *os.File, rows []engineRow) {
 	fmt.Fprintln(out, "## Execution engines — simulated instructions retired per host second")
 	fmt.Fprintln(out)
-	fmt.Fprintln(out, "| workload | sim instrs/op | ref | fast | native | native/fast |")
-	fmt.Fprintln(out, "|---|---|---|---|---|---|")
+	fmt.Fprintln(out, "| workload | sim instrs/op | kernel hit | ref | fast | native | native/fast |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|---|")
 	for _, r := range rows {
-		fmt.Fprintf(out, "| %s | %d | %.0fM | %.0fM | %.0fM | %.1f× |\n",
-			r.Name, r.SimInstrsPerOp,
+		fmt.Fprintf(out, "| %s | %d | %.0f%% | %.0fM | %.0fM | %.0fM | %.1f× |\n",
+			r.Name, r.SimInstrsPerOp, r.KernelHitPct,
 			r.SimInstrsPerSec["ref"]/1e6, r.SimInstrsPerSec["fast"]/1e6,
 			r.SimInstrsPerSec["native"]/1e6, r.NativeVsFast)
 	}
 	fmt.Fprintln(out)
 	fmt.Fprintln(out, "Each engine retires the identical simulated instruction stream (the")
-	fmt.Fprintln(out, "run asserts it); only host time differs. The native tier's distilled")
-	fmt.Fprintln(out, "cycle kernels dominate on the figure1 stack-shape workloads.")
+	fmt.Fprintln(out, "run asserts it); only host time differs. The kernel-hit column is the")
+	fmt.Fprintln(out, "share of retired instructions the native tier charged in closed form")
+	fmt.Fprintln(out, "(deterministic telemetry); its distilled kernels dominate on the")
+	fmt.Fprintln(out, "figure1 stack-shape workloads.")
+}
+
+var allEngineNames = []string{"ref", "fast", "native"}
+
+func writeEngines(out *os.File) error {
+	rows, err := measureAllEngines()
+	if err != nil {
+		return err
+	}
+	printEnginesTable(out, rows)
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		return enc.Encode(map[string]any{"engines": rows})
+		return writeJSONReport(allEngineNames, map[string]any{"engines": rows})
+	}
+	return nil
+}
+
+// writeReport runs the -olevels and -engines measurements back to back
+// and, with -json, writes one combined v2 report — the per-PR snapshot
+// (BENCH_pr8.json and successors) the cmmreport sentinel trends over.
+func writeReport(out *os.File) error {
+	olevels, err := measureOLevels()
+	if err != nil {
+		return err
+	}
+	engines, err := measureAllEngines()
+	if err != nil {
+		return err
+	}
+	printOLevelsTable(out, olevels)
+	fmt.Fprintln(out)
+	printEnginesTable(out, engines)
+	if *jsonOut != "" {
+		return writeJSONReport(allEngineNames, map[string]any{
+			"olevels": olevels,
+			"engines": engines,
+		})
 	}
 	return nil
 }

@@ -46,6 +46,7 @@ var (
 	diags     = flag.Bool("diags", false, "print structured diagnostics (notes included) after compiling")
 	vet       = flag.Bool("vet", false, "run the §4 well-formedness verifier; verifier errors fail the load (see VERIFIER.md)")
 	vetStrict = flag.Bool("vet-strict", false, "with -vet, also flag provably useless annotations")
+	explainK  = flag.Bool("explain-kernels", false, "print the native distiller's kernel report after compiling: matched cycle shapes and the precise rejection reason for the rest (no run needed)")
 )
 
 func main() {
@@ -113,6 +114,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(text)
+	}
+	if *explainK {
+		fmt.Print(mach.KernelReport().Format(mach.ProcAt))
 	}
 	if *runProc != "" {
 		args := parseArgs(*argList)

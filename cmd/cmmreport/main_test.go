@@ -1,0 +1,223 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Synthetic report fixtures covering every schema cmmbench has written.
+
+const v1OLevels = `{
+  "olevels": [
+    {"name": "figure1_sp3", "o0_cycles": 307, "o2_cycles": 299},
+    {"name": "fig2_cut_to", "o0_cycles": 3676, "o2_cycles": 3628}
+  ]
+}`
+
+const v1Engines = `{
+  "engines": [
+    {"name": "figure1_sp3", "sim_instrs_per_op": 75002,
+     "sim_instrs_per_sec": {"ref": 1e8, "fast": 2e8, "native": 5e9}}
+  ]
+}`
+
+const v1Bench = `{
+  "benchmarks": [
+    {"name": "fig34-normal-returns", "engine": "fast", "sim_instrs_per_sec": 2.5e8}
+  ]
+}`
+
+// v2Report builds a v2 envelope with the given cycle count, native
+// throughput, and host CPU count (vary cpus to make hosts differ).
+func v2Report(cycles int64, thru float64, cpus int) string {
+	return `{
+  "schema_version": 2,
+  "host": {"goos": "linux", "goarch": "amd64", "cpus": ` + itoaInt(cpus) + `, "go_version": "go1.24.0"},
+  "engine_names": ["ref", "fast", "native"],
+  "olevels": [
+    {"name": "figure1_sp3", "o0_cycles": 307, "o2_cycles": ` + itoa(cycles) + `}
+  ],
+  "engines": [
+    {"name": "figure1_sp3", "sim_instrs_per_op": 75002,
+     "sim_instrs_per_sec": {"native": ` + ftoa(thru) + `},
+     "kernel_hit_pct": 99.9}
+  ]
+}`
+}
+
+func itoa(n int64) string   { return strconv.FormatInt(n, 10) }
+func itoaInt(n int) string  { return strconv.Itoa(n) }
+func ftoa(f float64) string { return strconv.FormatInt(int64(f), 10) }
+
+func mustParse(t *testing.T, name, data string) benchReport {
+	t.Helper()
+	r, err := parseReport(name, []byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseAllSchemas(t *testing.T) {
+	r := mustParse(t, "pr5", v1OLevels)
+	if r.Schema != 1 || r.Host != nil {
+		t.Errorf("v1 olevels: schema=%d host=%v, want schema 1 and no host", r.Schema, r.Host)
+	}
+	if r.Cycles["figure1_sp3"] != 299 {
+		t.Errorf("v1 olevels cycles = %d, want 299", r.Cycles["figure1_sp3"])
+	}
+
+	r = mustParse(t, "pr6", v1Engines)
+	if r.Thru["figure1_sp3"] != 5e9 {
+		t.Errorf("v1 engines native throughput = %g, want 5e9", r.Thru["figure1_sp3"])
+	}
+	if r.HaveHit {
+		t.Error("v1 engines file must not report kernel-hit data")
+	}
+
+	r = mustParse(t, "pr3", v1Bench)
+	if r.Thru["fig34-normal-returns"] != 2.5e8 {
+		t.Errorf("v1 bench fast-only throughput = %g, want 2.5e8", r.Thru["fig34-normal-returns"])
+	}
+
+	r = mustParse(t, "pr8", v2Report(299, 5e9, 8))
+	if r.Schema != 2 || r.Host == nil || r.Host.CPUs != 8 {
+		t.Errorf("v2 parse: schema=%d host=%+v", r.Schema, r.Host)
+	}
+	if !r.HaveHit || r.HitPct["figure1_sp3"] != 99.9 {
+		t.Errorf("v2 kernel hit = %v %v", r.HaveHit, r.HitPct)
+	}
+
+	if _, err := parseReport("empty", []byte(`{}`)); err == nil {
+		t.Error("a file with no recognized section must be rejected")
+	}
+}
+
+func TestLabelFromPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"BENCH_pr5.json":       "pr5",
+		"bench/BENCH_pr8.json": "pr8",
+		"custom.json":          "custom",
+	} {
+		if got := label(path); got != want {
+			t.Errorf("label(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestThroughputRegressionSameHost is the acceptance scenario: a
+// synthetic ≥10% native-throughput drop between two same-host v2
+// reports must be flagged.
+func TestThroughputRegressionSameHost(t *testing.T) {
+	old := mustParse(t, "pr8", v2Report(299, 5_000_000_000, 8))
+	bad := mustParse(t, "pr9", v2Report(299, 4_400_000_000, 8)) // -12%
+	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02)
+	if len(regr) != 1 || !strings.Contains(regr[0], "throughput dropped 12.0%") {
+		t.Errorf("want one 12%% throughput regression, got %v", regr)
+	}
+
+	// A 5% drop stays under the default threshold.
+	ok := mustParse(t, "pr9", v2Report(299, 4_750_000_000, 8))
+	if regr := findRegressions([]benchReport{old, ok}, 0.10, 0.02); len(regr) != 0 {
+		t.Errorf("5%% drop should pass, got %v", regr)
+	}
+}
+
+// TestThroughputNotGatedAcrossHosts: the same 12% drop on different
+// hardware (or against a v1 file with no host stamp) is not a
+// regression — host time is only comparable on identical hosts.
+func TestThroughputNotGatedAcrossHosts(t *testing.T) {
+	old := mustParse(t, "pr8", v2Report(299, 5_000_000_000, 8))
+	diffHost := mustParse(t, "pr9", v2Report(299, 4_400_000_000, 4))
+	if regr := findRegressions([]benchReport{old, diffHost}, 0.10, 0.02); len(regr) != 0 {
+		t.Errorf("cross-host throughput must not gate, got %v", regr)
+	}
+
+	v1 := mustParse(t, "pr6", v1Engines) // no host stamp
+	newer := mustParse(t, "pr8", v2Report(299, 4_000_000_000, 8))
+	if regr := findRegressions([]benchReport{v1, newer}, 0.10, 0.02); len(regr) != 0 {
+		t.Errorf("v1-vs-v2 throughput must not gate, got %v", regr)
+	}
+}
+
+// TestCycleRegressionAlwaysGated: simulated cycles are deterministic,
+// so a rise past the threshold gates even across hosts and schema
+// versions.
+func TestCycleRegressionAlwaysGated(t *testing.T) {
+	old := mustParse(t, "pr5", v1OLevels) // figure1_sp3: 299 cycles
+	bad := mustParse(t, "pr9", v2Report(320, 5e9, 4))
+	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02)
+	if len(regr) != 1 || !strings.Contains(regr[0], "-O2 cycles rose 7.0%") {
+		t.Errorf("want one 7%% cycle regression, got %v", regr)
+	}
+
+	same := mustParse(t, "pr9", v2Report(299, 5e9, 4))
+	if regr := findRegressions([]benchReport{old, same}, 0.10, 0.02); len(regr) != 0 {
+		t.Errorf("identical cycles should pass, got %v", regr)
+	}
+}
+
+func TestRenderTrendTable(t *testing.T) {
+	reports := []benchReport{
+		mustParse(t, "pr5", v1OLevels),
+		mustParse(t, "pr6", v1Engines),
+		mustParse(t, "pr8", v2Report(299, 5e9, 8)),
+	}
+	table := renderTrend(reports)
+	for _, want := range []string{
+		"pr5 → pr6 → pr8",
+		"host unknown (throughput not gated)",
+		"### Simulated cycles per op",
+		"### Native-engine throughput",
+		"### Native kernel-hit rate",
+		"| figure1_sp3 | 299 | — | 299 | +0.0% |",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("trend table lacks %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestSpliceMarkers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "EXPERIMENTS.md")
+	orig := "# Title\n\nintro text\n\n<!-- cmmreport:begin -->\nold table\n<!-- cmmreport:end -->\n\ntrailer\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := spliceMarkers(path, "NEW TABLE\n"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(got)
+	if !strings.Contains(text, "NEW TABLE") || strings.Contains(text, "old table") {
+		t.Errorf("splice did not replace the table:\n%s", text)
+	}
+	if !strings.HasPrefix(text, "# Title\n\nintro text\n") || !strings.HasSuffix(text, "\ntrailer\n") {
+		t.Errorf("splice damaged surrounding text:\n%s", text)
+	}
+
+	// Idempotent: splicing again yields the same bytes.
+	if err := spliceMarkers(path, "NEW TABLE\n"); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := os.ReadFile(path)
+	if string(again) != text {
+		t.Error("splice is not idempotent")
+	}
+
+	if err := spliceMarkers(path, ""); err != nil {
+		t.Fatal(err)
+	}
+	noMarkers := filepath.Join(dir, "plain.md")
+	os.WriteFile(noMarkers, []byte("no markers here"), 0o644)
+	if err := spliceMarkers(noMarkers, "x"); err == nil {
+		t.Error("splicing a file without markers must fail")
+	}
+}

@@ -15,6 +15,7 @@
 //	cmmrun -run sp3 -args 10 figure1.cmm
 //	cmmrun -engine=fast -stats -run sp3 -args 10 figure1.cmm
 //	cmmrun -engine=fast -stats=json -run sp3 -args 10 figure1.cmm
+//	cmmrun -engine=native -explain -telemetry -run sp3 -args 10 figure1.cmm
 //	cmmrun -engine=fast -trace=run.json -metrics=m.json -profile=p.folded \
 //	    -dispatcher=unwind -run main raise.cmm
 //	cmmrun -engine=fast -cpuprofile cpu.out -run f -args 1000 fig34.cmm
@@ -85,6 +86,8 @@ var (
 	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile  = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	vet         = flag.Bool("vet", false, "run the §4 well-formedness verifier before running; verifier errors fail the load (see VERIFIER.md)")
+	explain     = flag.Bool("explain", false, "print the native distiller's kernel report before running: which candidate cycles matched a closed-form kernel, and the precise rejection reason for the rest")
+	telemetry   = flag.Bool("telemetry", false, "print engine-introspection counters after the run (kernel entries/iters, deopt buckets, dispatches, fusion hits; machine engines only)")
 )
 
 func main() {
@@ -163,6 +166,15 @@ func main() {
 
 	switch *engine {
 	case "interp":
+		if *explain {
+			// The distiller works on compiled code; compile just for the
+			// report (the interp run below is unaffected).
+			mach, err := mod.Native(cmm.CompileConfig{Opt: *optLevel})
+			if err != nil {
+				fatal("compile", err)
+			}
+			fmt.Print(mach.KernelReport().Format(mach.ProcAt))
+		}
 		in, err := mod.Interp(opts...)
 		if err != nil {
 			fatal("load", err)
@@ -190,8 +202,12 @@ func main() {
 		if err != nil {
 			fatal("compile", err)
 		}
+		if *explain {
+			fmt.Print(mach.KernelReport().Format(mach.ProcAt))
+		}
 		res, err := mach.Run(*runProc, args...)
 		mach.RecordObsCounters()
+		mach.RecordEngineTelemetry()
 		if err != nil {
 			writeObservations(mod, observer)
 			fatal("run", err)
@@ -199,6 +215,9 @@ func main() {
 		fmt.Printf("%s(%v) = %v\n", *runProc, args, res)
 		if stats.set {
 			printMachineStats(mach)
+		}
+		if *telemetry {
+			printTelemetry(mach)
 		}
 	default:
 		fatal("flags", fmt.Errorf("unknown engine %q (valid engines: interp, fast, ref, native)", *engine))
@@ -222,12 +241,20 @@ func main() {
 func printMachineStats(mach *cmm.Machine) {
 	s := mach.Stats()
 	if stats.format == "json" {
-		fmt.Printf(`{"engine":%q,"cycles":%d,"instrs":%d,"loads":%d,"stores":%d,"branches":%d,"calls":%d,"yields":%d}`+"\n",
-			*engine, s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+		fmt.Printf(`{"engine":%q,"opt":%d,"cycles":%d,"instrs":%d,"loads":%d,"stores":%d,"branches":%d,"calls":%d,"yields":%d}`+"\n",
+			*engine, *optLevel, s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
 		return
 	}
 	fmt.Printf("cycles: %d instrs: %d loads: %d stores: %d branches: %d calls: %d yields: %d\n",
 		s.Cycles, s.Instrs, s.Loads, s.Stores, s.Branches, s.Calls, s.Yields)
+}
+
+func printTelemetry(mach *cmm.Machine) {
+	t := mach.Telemetry()
+	fmt.Printf("telemetry[%s]: kernel entries: %d iters: %d instrs: %d | deopts cycle-exit: %d trap-edge: %d budget: %d observer: %d | dispatches: %d fusion hits: %d\n",
+		mach.EngineName(), t.KernelEntries, t.KernelIters, t.KernelInstrs,
+		t.DeoptCycleExit, t.DeoptTrap, t.DeoptBudget, t.DeoptObserver,
+		t.ChainDispatches, t.FusionHits)
 }
 
 func printInterpStats(in *cmm.Interp) {

@@ -270,3 +270,60 @@ func TestExamplesRun(t *testing.T) {
 		}
 	}
 }
+
+// TestCmmrunExplainTelemetry: -explain prints the distiller's kernel
+// report (matched shapes with concrete parameters, rejections with
+// reasons), and -telemetry prints the deterministic engine counters.
+func TestCmmrunExplainTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmrun", "-engine=native", "-explain", "-telemetry",
+		"-run", "sp3", "-args", "10", "testdata/figure1.cmm")
+	for _, want := range []string{
+		"kernel report: 3 of 4 candidate cycles distilled",
+		"counted loop over",
+		"frame-push",
+		"frame-pop",
+		"rejected — ",
+		"telemetry[native]: kernel entries: 1 iters: 8 instrs: 120",
+		"cycle-exit: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cmmrun explain/telemetry output lacks %q:\n%s", want, out)
+		}
+	}
+	// -explain works under the default interp engine too (it compiles
+	// just for the report), and cmmc exposes the same report.
+	out = runTool(t, "./cmd/cmmrun", "-explain", "-run", "sp3", "-args", "3", "testdata/figure1.cmm")
+	if !strings.Contains(out, "kernel report:") || !strings.Contains(out, "sp3([3]) =") {
+		t.Errorf("interp -explain output wrong:\n%s", out)
+	}
+	out = runTool(t, "./cmd/cmmc", "-explain-kernels", "testdata/figure1.cmm")
+	if !strings.Contains(out, "kernel report: 3 of 4 candidate cycles distilled") {
+		t.Errorf("cmmc -explain-kernels output wrong:\n%s", out)
+	}
+}
+
+// TestCmmreportTool: the sentinel trends the checked-in BENCH history,
+// and a synthetic cycle regression makes it exit non-zero.
+func TestCmmreportTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests build binaries")
+	}
+	out := runTool(t, "./cmd/cmmreport", "BENCH_pr5.json", "BENCH_pr6.json")
+	for _, want := range []string{"## Bench history", "Simulated cycles per op", "figure1_sp3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cmmreport output lacks %q:\n%s", want, out)
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"olevels":[{"name":"figure1_sp3","o0_cycles":307,"o2_cycles":400}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runToolFail(t, "./cmd/cmmreport", "BENCH_pr5.json", bad)
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "figure1_sp3") {
+		t.Errorf("cmmreport did not flag the synthetic cycle regression:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package cmm_test
+
+import (
+	"strings"
+	"testing"
+
+	"cmm"
+	"cmm/internal/paper"
+)
+
+// The compile-time explain contract: for every candidate cycle the
+// distiller considered in the paper's figure workloads, the kernel
+// report names either the matched shape (with a concrete description)
+// or the precise rejection reason. No candidate may be silent.
+
+func explainReport(t *testing.T, name, src string) (cmm.KernelReport, *cmm.Machine) {
+	t.Helper()
+	mod, err := cmm.Load(src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	mach, err := mod.Native(cmm.CompileConfig{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return mach.KernelReport(), mach
+}
+
+func TestExplainCoversPaperFigures(t *testing.T) {
+	sources := []struct {
+		name string
+		src  string
+	}{
+		{"figure1", paper.Figure1},
+		{"fig2_cut", paper.Fig2Cut},
+		{"fig2_runtime_cut", paper.Fig2RuntimeCut},
+		{"fig2_runtime_unwind", paper.Fig2RuntimeUnwind},
+		{"fig2_native_unwind", paper.Fig2NativeUnwind},
+		{"fig2_cps", paper.Fig2CPS},
+	}
+	for _, s := range sources {
+		rep, mach := explainReport(t, s.name, s.src)
+		if len(rep.Candidates) == 0 {
+			t.Errorf("%s: distiller reported no candidate cycles", s.name)
+			continue
+		}
+		for _, c := range rep.Candidates {
+			if c.Reason == "" {
+				t.Errorf("%s: candidate pc %d..%d has no match description or rejection reason",
+					s.name, c.Header, c.End)
+			}
+			if c.Matched && c.Shape == "" {
+				t.Errorf("%s: matched candidate pc %d..%d names no shape", s.name, c.Header, c.End)
+			}
+		}
+		text := rep.Format(mach.ProcAt)
+		if !strings.Contains(text, "kernel report:") {
+			t.Errorf("%s: formatted report lacks the summary line:\n%s", s.name, text)
+		}
+		if rep.Matched() > 0 && !strings.Contains(text, "matched") {
+			t.Errorf("%s: report has %d matches but no 'matched' line:\n%s", s.name, rep.Matched(), text)
+		}
+	}
+}
+
+// TestExplainFigure1Shapes pins the concrete matches on Figure 1: sp1's
+// recursion distills as a frame-push and a frame-pop kernel, and sp3's
+// reduction loop as a counted loop; each description names the shape's
+// parameters (frame size, countdown register).
+func TestExplainFigure1Shapes(t *testing.T) {
+	rep, mach := explainReport(t, "figure1", paper.Figure1)
+	text := rep.Format(mach.ProcAt)
+	for _, want := range []string{
+		"frame-push",
+		"frame-pop",
+		"counted-loop",
+		"bytes/frame",
+		"counted loop over",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("figure1 explain output lacks %q:\n%s", want, text)
+		}
+	}
+	if rep.Matched() < 3 {
+		t.Errorf("figure1: %d matched kernels, want ≥3 (sp1 push, sp1 pop, sp3 counted):\n%s",
+			rep.Matched(), text)
+	}
+}
+
+// TestExplainRejectionReasons: the CPS variant raises by tail call, a
+// shape outside the distiller's vocabulary, so its report must carry
+// concrete rejection text rather than bare "no".
+func TestExplainRejectionReasons(t *testing.T) {
+	rep, mach := explainReport(t, "fig2_cps", paper.Fig2CPS)
+	text := rep.Format(mach.ProcAt)
+	if !strings.Contains(text, "rejected — ") {
+		t.Errorf("fig2_cps explain output has no rejection lines:\n%s", text)
+	}
+	for _, c := range rep.Candidates {
+		if !c.Matched && len(c.Reason) < 10 {
+			t.Errorf("fig2_cps: rejection reason too vague: %q", c.Reason)
+		}
+	}
+}

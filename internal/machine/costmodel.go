@@ -137,6 +137,7 @@ type chunkAcct struct {
 	branches int64
 	calls    int64
 	cycBase  int64 // Stats.Cycles at begin
+	fused    int64 // superinstruction executions since begin (telemetry, not cost)
 }
 
 // begin captures the machine's flushed counter state. The machine must
@@ -191,4 +192,6 @@ func (a *chunkAcct) flush(m *Machine, pc int) {
 	m.Stats.Stores += a.stores
 	m.Stats.Branches += a.branches
 	m.Stats.Calls += a.calls
+	m.Telem.FusionHits += a.fused
+	a.fused = 0
 }

@@ -335,6 +335,7 @@ func (m *Machine) fastChunk() error {
 			}
 			v, _ := aluOp(op.sub, regs[op.rs], b, int(op.width)) // fused subs never trap
 			regs[op.rd] = v                                      // fused only when rd != zero
+			a.fused++
 			a.cycles += op.cyc
 			a.total++
 			if a.total > a.limit {
@@ -363,6 +364,7 @@ func (m *Machine) fastChunk() error {
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
+			a.fused++
 			a.cycles += op.cyc
 			a.loads++
 			a.total++
@@ -393,6 +395,7 @@ func (m *Machine) fastChunk() error {
 			if op.rd != RZero {
 				regs[op.rd] = v
 			}
+			a.fused++
 			a.cycles += op.cyc
 			a.loads++
 			a.total++
@@ -419,6 +422,7 @@ func (m *Machine) fastChunk() error {
 				a.flush(m, pc)
 				return m.StoreWord(addr, regs[op.rt], int(op.size))
 			}
+			a.fused++
 			a.cycles += op.cyc
 			a.stores++
 			a.total++

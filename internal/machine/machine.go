@@ -247,6 +247,41 @@ type Counters struct {
 	Yields   int64
 }
 
+// Telemetry is the engine-introspection counter set: how the engines
+// got their work done, as opposed to Counters, which says what the
+// simulated program did. Telemetry is engine-dependent by design — the
+// reference engine leaves it all zero, the fast engine counts
+// superinstruction fusion hits, and the native tier counts kernel
+// activity and deoptimizations — and it is deterministic for a given
+// (program, engine, budget): two identical runs produce identical
+// telemetry. It never feeds back into Stats, so it is cost-neutral by
+// construction.
+type Telemetry struct {
+	// KernelEntries counts native-tier kernel activations that completed
+	// at least one closed-form iteration.
+	KernelEntries int64
+	// KernelIters is the total closed-form iterations charged by kernels.
+	KernelIters int64
+	// KernelInstrs is the simulated instructions those iterations
+	// retired (KernelIters x instructions per iteration, per kernel).
+	KernelInstrs int64
+	// Deopt* bucket every kernel activation's hand-back to the ordinary
+	// closure chains by reason. Exactly one bucket increments per
+	// activation (including activations that ran zero iterations).
+	DeoptCycleExit int64 // the cycle's own exit condition was reached
+	DeoptTrap      int64 // stopped at a memory bound: a potential trap must run on the chains
+	DeoptBudget    int64 // stopped at the instruction-budget edge
+	DeoptObserver  int64 // kernel refused to run: an observer needs the cycle's events
+	// ChainDispatches counts native-tier trampoline dispatches (one per
+	// closure-chain entry).
+	ChainDispatches int64
+	// FusionHits counts superinstruction executions on the fast engine
+	// (each replaces two instructions with one dispatch). The native
+	// tier's budget-edge handoff finishes runs on the fast engine, so a
+	// native run may accumulate a few hits near the budget.
+	FusionHits int64
+}
+
 // Engine selects the execution loop used by Run. Both engines implement
 // the same cost model bit-for-bit; they differ only in host speed.
 type Engine uint8
@@ -274,6 +309,12 @@ type Machine struct {
 	Mem   []byte
 	Cost  Costs
 	Stats Counters
+
+	// Telem accumulates engine-introspection counters (kernel activity,
+	// deopts, dispatch and fusion counts). Unlike Stats it is
+	// engine-dependent; like Stats it accumulates across runs and is
+	// deterministic per engine.
+	Telem Telemetry
 
 	// Engine selects the Run loop (fast threaded code vs. reference
 	// stepper). Simulated counters are identical under both.

@@ -73,7 +73,8 @@ func (st *natState) trapAt(pc int, format string, args ...any) int {
 type natProg struct {
 	fns     []natFn
 	agg     []costDelta
-	kernels int // cycle entries rewritten by the distiller (native_opt.go)
+	kernels int               // cycle entries rewritten by the distiller (native_opt.go)
+	report  []KernelCandidate // one verdict per candidate cycle, in discovery order
 }
 
 // ensureNative (re)compiles the closure chains if m.Code or the cost
@@ -93,6 +94,18 @@ func (m *Machine) ensureNative() {
 	m.nativePtr = &m.Code[0]
 	m.nativeLen = len(m.Code)
 	m.nativeCost = m.Cost
+}
+
+// ExplainKernels compiles the native tier's closure chains if needed and
+// returns the distiller's kernel report: one verdict per candidate cycle
+// (matched shape with its closed form, or the precise rejection reason).
+// Pure compile-time introspection — no execution happens.
+func (m *Machine) ExplainKernels() []KernelCandidate {
+	m.ensureNative()
+	if m.native == nil {
+		return nil
+	}
+	return append([]KernelCandidate(nil), m.native.report...)
 }
 
 // RunNative executes until Halt or an error on the native tier. Like
@@ -126,6 +139,7 @@ func (m *Machine) RunNative() error {
 			return m.fastLoop()
 		}
 		st.acct.add(a)
+		m.Telem.ChainDispatches++
 		r := p.fns[pc](st)
 		if r >= 0 {
 			pc = r

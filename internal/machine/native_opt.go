@@ -30,11 +30,41 @@
 //     observation.
 //
 // Anything the matchers cannot prove keeps its original chain — the
-// distiller is a pure overlay and never changes semantics.
+// distiller is a pure overlay and never changes semantics. Every
+// decision is recorded: each candidate cycle yields one KernelCandidate
+// stating which shape matched (and its closed form) or the precise
+// reason it was rejected, surfaced through Machine.ExplainKernels and
+// the -explain flags of cmmrun/cmmc. At run time the installed kernels
+// feed Machine.Telem: entries, closed-form iterations, and a deopt
+// bucket per activation (see Telemetry in machine.go).
 
 package machine
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cmm/internal/obs"
+)
+
+// Kernel shapes, for KernelCandidate.Shape.
+const (
+	ShapeCounted = "counted-loop"
+	ShapePush    = "frame-push"
+	ShapePop     = "frame-pop"
+)
+
+// KernelCandidate is one cycle the distiller considered: a backward
+// jump, a self-call, or a call-return sequence. Matched candidates
+// describe the distilled closed form; rejected ones carry the precise
+// reason the cycle kept its ordinary closure chains.
+type KernelCandidate struct {
+	Header  int    // cycle header pc (the closure the kernel would replace)
+	End     int    // pc of the instruction closing the cycle
+	Shape   string // Shape* constant
+	Matched bool
+	Reason  string // closed-form description when matched; rejection reason otherwise
+}
 
 // ---------------------------------------------------------------------
 // Symbolic values: the effect of one cycle iteration, expressed over
@@ -230,19 +260,21 @@ func (tr *cycleTrace) modified() []Reg {
 	return mods
 }
 
-func (tr *cycleTrace) step(in *Instr) bool {
+// step symbolically executes one instruction. It returns "" on success
+// or the reason the instruction poisons the cycle.
+func (tr *cycleTrace) step(in *Instr, pc int) string {
 	switch in.Op {
 	case OpNop:
-		return true
+		return ""
 	case OpLI:
 		tr.set(in.Rd, sConst(uint64(in.Imm)))
-		return true
+		return ""
 	case OpMov:
 		tr.set(in.Rd, tr.regs[in.Rs])
-		return true
+		return ""
 	case OpALU, OpALUI:
 		if !fusableALU(in.Sub) {
-			return false // may trap mid-cycle
+			return fmt.Sprintf("trapping ALU op `%s` at pc %d", Disasm(*in), pc)
 		}
 		b := tr.regs[in.Rt]
 		if in.Op == OpALUI {
@@ -250,53 +282,60 @@ func (tr *cycleTrace) step(in *Instr) bool {
 		}
 		v := evalALU(in.Sub, in.Width, tr.regs[in.Rs], b)
 		if v == nil {
-			return false
+			return fmt.Sprintf("constant folding of `%s` at pc %d traps", Disasm(*in), pc)
 		}
 		tr.set(in.Rd, v)
-		return true
+		return ""
 	case OpLoad:
 		if in.Size != 8 {
-			return false
+			return fmt.Sprintf("sub-word load (%d bytes) at pc %d", in.Size, pc)
 		}
 		base, off, ok := affineOf(tr.regs[in.Rs])
-		if !ok || !tr.setBase(base) {
-			return false
+		if !ok {
+			return fmt.Sprintf("non-affine load address at pc %d", pc)
+		}
+		if !tr.setBase(base) {
+			return fmt.Sprintf("load at pc %d uses a second memory base (%s after %s) — alias discipline needs one", pc, base, tr.memBase)
 		}
 		off += in.Imm
 		v, conflict := tr.forward(off)
 		if conflict {
-			return false
+			return fmt.Sprintf("load at pc %d partially overlaps an earlier store", pc)
 		}
 		if v != nil {
 			tr.set(in.Rd, v)
-			return true
+			return ""
 		}
 		if in.Rd == RZero {
-			return false
+			return fmt.Sprintf("load into the zero register at pc %d", pc)
 		}
 		tr.rawLoads = append(tr.rawLoads, rawLoad{off: off, dst: in.Rd})
 		tr.set(in.Rd, &sval{kind: skLoad, base: base, off: off})
-		return true
+		return ""
 	case OpStore:
 		if in.Size != 8 {
-			return false
+			return fmt.Sprintf("sub-word store (%d bytes) at pc %d", in.Size, pc)
 		}
 		base, off, ok := affineOf(tr.regs[in.Rs])
-		if !ok || !tr.setBase(base) {
-			return false
+		if !ok {
+			return fmt.Sprintf("non-affine store address at pc %d", pc)
+		}
+		if !tr.setBase(base) {
+			return fmt.Sprintf("store at pc %d uses a second memory base (%s after %s) — alias discipline needs one", pc, base, tr.memBase)
 		}
 		tr.stores = append(tr.stores, memEff{off: off + in.Imm, val: tr.regs[in.Rt]})
-		return true
+		return ""
 	}
-	return false
+	return fmt.Sprintf("unsupported opcode `%s` at pc %d", Disasm(*in), pc)
 }
 
 // traceCycle runs the straight path h..j-1 symbolically. Conditional
 // branches inside the cycle must exit it when taken (the not-taken path
-// continues the iteration); any other terminator rejects the cycle.
-func traceCycle(code []Instr, h, j int) *cycleTrace {
+// continues the iteration); any other terminator rejects the cycle. The
+// second result is "" on success or the rejection reason.
+func traceCycle(code []Instr, h, j int) (*cycleTrace, string) {
 	if h < 0 || j <= h || j-h > 128 {
-		return nil
+		return nil, fmt.Sprintf("cycle body spans %d instructions (limit 128)", j-h)
 	}
 	tr := &cycleTrace{}
 	for r := Reg(0); r < NumRegs; r++ {
@@ -306,19 +345,19 @@ func traceCycle(code []Instr, h, j int) *cycleTrace {
 		in := &code[pc]
 		if isRunTerminator(in.Op) {
 			if in.Op != OpBZ && in.Op != OpBNZ {
-				return nil
+				return nil, fmt.Sprintf("effect escapes the cycle: `%s` at pc %d", Disasm(*in), pc)
 			}
 			if in.Target >= h && in.Target <= j {
-				return nil
+				return nil, fmt.Sprintf("branch at pc %d targets inside the cycle (irreducible body)", pc)
 			}
 			tr.guards = append(tr.guards, guardInfo{cond: tr.regs[in.Rs], contOnZero: in.Op == OpBNZ})
 			continue
 		}
-		if !tr.step(in) {
-			return nil
+		if why := tr.step(in, pc); why != "" {
+			return nil, why
 		}
 	}
-	return tr
+	return tr, ""
 }
 
 // ---------------------------------------------------------------------
@@ -478,7 +517,12 @@ func applyFixes(r *[NumRegs]uint64, fixes []fixup, n0, p0, n1, p1, n2, p2 uint64
 
 func fuseChains(p *natProg, code []Instr, cost Costs) {
 	done := map[int]bool{}
-	install := func(h int, fn natFn) {
+	// consider records the candidate's verdict for the explain report and
+	// installs the kernel when one matched.
+	consider := func(h, end int, shape string, fn natFn, why string) {
+		p.report = append(p.report, KernelCandidate{
+			Header: h, End: end, Shape: shape, Matched: fn != nil, Reason: why,
+		})
 		if fn != nil && !done[h] {
 			p.fns[h] = fn
 			done[h] = true
@@ -490,11 +534,13 @@ func fuseChains(p *natProg, code []Instr, cost Costs) {
 		switch in.Op {
 		case OpJmp:
 			if h := in.Target; h >= 0 && h < j && !done[h] {
-				install(h, matchCounted(p, code, cost, h, j))
+				fn, why := matchCounted(p, code, cost, h, j)
+				consider(h, j, ShapeCounted, fn, why)
 			}
 		case OpCall:
 			if h := in.Target; h >= 0 && h < j && !done[h] {
-				install(h, matchPush(p, code, cost, h, j))
+				fn, why := matchPush(p, code, cost, h, j)
+				consider(h, j, ShapePush, fn, why)
 			}
 			// The call's return point is where a frame-pop cycle heads.
 			if h := j + 1; h < len(code) && !done[h] {
@@ -503,7 +549,8 @@ func fuseChains(p *natProg, code []Instr, cost Costs) {
 					j2++
 				}
 				if j2 < len(code) && code[j2].Op == OpRetOff && code[j2].Imm == 0 {
-					install(h, matchPop(p, code, cost, h, j2))
+					fn, why := matchPop(p, code, cost, h, j2)
+					consider(h, j2, ShapePop, fn, why)
 				}
 			}
 		}
@@ -521,18 +568,27 @@ func fuseChains(p *natProg, code []Instr, cost Costs) {
 // store is allowed — its address and value must be iteration-invariant,
 // so the kernel performs it once. No instruction in the cycle can emit
 // observer events, so the kernel is valid even under observation.
-func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
-	tr := traceCycle(code, h, j)
-	if tr == nil || len(tr.guards) != 1 || len(tr.rawLoads) != 0 || len(tr.stores) > 1 {
-		return nil
+func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
+	tr, why := traceCycle(code, h, j)
+	if tr == nil {
+		return nil, why
+	}
+	if len(tr.guards) != 1 {
+		return nil, fmt.Sprintf("%d guard branches in the body, need exactly 1", len(tr.guards))
+	}
+	if len(tr.rawLoads) != 0 {
+		return nil, fmt.Sprintf("%d loads do not forward from the cycle's own stores", len(tr.rawLoads))
+	}
+	if len(tr.stores) > 1 {
+		return nil, fmt.Sprintf("%d stores in the body, at most 1 invariant store supported", len(tr.stores))
 	}
 	sR, stop, ok := contPredicate(tr.guards[0])
 	if !ok || sR == RZero {
-		return nil
+		return nil, "guard is not a continue-while-register-differs-from-constant compare"
 	}
 	dec, maskS, ok := decUpdate(tr.regs[sR], sR)
 	if !ok {
-		return nil
+		return nil, fmt.Sprintf("induction register %s is not updated by a constant decrement", sR)
 	}
 	hasStore := len(tr.stores) == 1
 	var stBase, stVal Reg
@@ -541,11 +597,11 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		stBase = tr.memBase
 		v := tr.stores[0].val
 		if v.kind != skReg {
-			return nil
+			return nil, "stored value is not iteration-invariant"
 		}
 		stVal = v.reg
 		if !isEntry(tr.regs[stBase], stBase) || !isEntry(tr.regs[stVal], stVal) {
-			return nil
+			return nil, "store address or value register is modified by the cycle"
 		}
 		stOff = uint64(tr.stores[0].off)
 	}
@@ -575,7 +631,7 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		}
 		f, ok := classifyFix(tr, r, slots, have, tr.guards[0].cond)
 		if !ok {
-			return nil
+			return nil, fmt.Sprintf("modified register %s has no closed form after k iterations", r)
 		}
 		fixes = append(fixes, f)
 	}
@@ -583,6 +639,16 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 	agg := p.agg[h]
 	neg := scaleDelta(agg, -1)
 	orig := p.fns[h]
+	desc := fmt.Sprintf("counted loop over %s (dec %d, stop %d), %d instrs/iter", sR, dec&maskS, stop, itD.instrs)
+	if hasX {
+		desc += fmt.Sprintf(", sum into %s", xR)
+	}
+	if hasP {
+		desc += fmt.Sprintf(", product into %s", pR)
+	}
+	if hasStore {
+		desc += ", one invariant store"
+	}
 	// The dominant shape — both accumulators present — gets a
 	// branch-free loop; everything lives in locals so the compiled loop
 	// runs on registers.
@@ -592,12 +658,14 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		r := st.regs
 		room := (st.acct.limit - st.acct.total - agg.instrs) / itD.instrs
 		var k int64
+		deopt := uint64(obs.DeoptBudget) // room <= 0: no headroom at entry
 		ok := room > 0
 		var stAddr uint64
 		if ok && hasStore {
 			stAddr = r[stBase] + stOff
 			if end := stAddr + 8; end > uint64(len(st.mem)) || end < stAddr {
 				ok = false
+				deopt = obs.DeoptTrap // the store will trap on the chains
 			}
 		}
 		if ok {
@@ -629,6 +697,11 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 					k++
 				}
 			}
+			if s == stop {
+				deopt = obs.DeoptCycleExit
+			} else {
+				deopt = obs.DeoptBudget // k == room: budget edge
+			}
 			if k > 0 {
 				d := scaleDelta(itD, k)
 				st.acct.add(&d)
@@ -645,8 +718,36 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 				}
 			}
 		}
+		kernelHandback(st, h, k, k*itD.instrs, deopt)
 		st.acct.add(&agg)
 		return orig(st)
+	}, desc
+}
+
+// kernelHandback records one kernel activation's telemetry: the work it
+// charged and the single deopt bucket explaining why it handed control
+// back to the chains. With an opted-in observer it also emits the KDeopt
+// instant (engine-specific, excluded from cross-engine parity).
+func kernelHandback(st *natState, h int, k, instrs int64, reason uint64) {
+	t := &st.m.Telem
+	if k > 0 {
+		t.KernelEntries++
+		t.KernelIters += k
+		t.KernelInstrs += instrs
+	}
+	switch reason {
+	case obs.DeoptCycleExit:
+		t.DeoptCycleExit++
+	case obs.DeoptTrap:
+		t.DeoptTrap++
+	case obs.DeoptBudget:
+		t.DeoptBudget++
+	case obs.DeoptObserver:
+		t.DeoptObserver++
+	}
+	if o := st.m.Obs; o != nil && o.EngineEvents {
+		o.Emit(obs.Event{Kind: obs.KDeopt, Ts: st.acct.ts(), Instr: st.acct.total,
+			PC: int32(h), SP: st.regs[RSP], A: reason, B: uint64(k)})
 	}
 }
 
@@ -670,13 +771,19 @@ type storeSrc struct {
 // decrements the frame base by fd, performs the frame stores, updates
 // the countdown register, and calls back to h. The call would emit
 // observer events, so the kernel runs only with no observer attached.
-func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
-	tr := traceCycle(code, h, j)
-	if tr == nil || len(tr.guards) != 1 || len(tr.rawLoads) != 0 {
-		return nil
+func matchPush(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
+	tr, why := traceCycle(code, h, j)
+	if tr == nil {
+		return nil, why
+	}
+	if len(tr.guards) != 1 {
+		return nil, fmt.Sprintf("%d guard branches in the body, need exactly 1", len(tr.guards))
+	}
+	if len(tr.rawLoads) != 0 {
+		return nil, fmt.Sprintf("%d loads in a push cycle, need a store-only descent", len(tr.rawLoads))
 	}
 	if len(tr.stores) < 1 || len(tr.stores) > 2 {
-		return nil
+		return nil, fmt.Sprintf("%d frame stores in the body, need 1 or 2", len(tr.stores))
 	}
 	// The call at j writes ra before transferring; fold that into the
 	// iteration's effect.
@@ -684,29 +791,29 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 	tr.set(RRA, sConst(raC))
 	dR, stop, ok := contPredicate(tr.guards[0])
 	if !ok || dR == RZero {
-		return nil
+		return nil, "guard is not a continue-while-register-differs-from-constant compare"
 	}
 	dec, maskD, ok := decUpdate(tr.regs[dR], dR)
 	if !ok {
-		return nil
+		return nil, fmt.Sprintf("countdown register %s is not updated by a constant decrement", dR)
 	}
 	base := tr.memBase
 	fBase, fOff, ok := affineOf(tr.regs[base])
 	if !ok || fBase != base || fOff >= 0 {
-		return nil
+		return nil, fmt.Sprintf("frame base %s does not descend by a constant per iteration", base)
 	}
 	fd := uint64(-fOff)
 	if fd < 8 {
-		return nil
+		return nil, fmt.Sprintf("frame descent of %d bytes is smaller than a word", fd)
 	}
 	var srcs []storeSrc
 	for _, s := range tr.stores {
 		so := s.off + int64(fd)
 		if so < 0 || uint64(so)+8 > fd {
-			return nil // store outside the newly pushed frame
+			return nil, fmt.Sprintf("store at frame offset %d escapes the %d-byte pushed frame", s.off, fd)
 		}
 		if s.val.kind != skReg {
-			return nil
+			return nil, "stored value is not a register's entry value"
 		}
 		w := s.val.reg
 		fw := tr.regs[w]
@@ -719,7 +826,7 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		case isEntry(fw, dR):
 			src.next = nkD
 		default:
-			return nil
+			return nil, fmt.Sprintf("stored register %s has no recognized per-iteration update", w)
 		}
 		srcs = append(srcs, src)
 	}
@@ -732,7 +839,7 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		}
 		f, ok := classifyFix(tr, r, slots, have, tr.guards[0].cond)
 		if !ok {
-			return nil
+			return nil, fmt.Sprintf("modified register %s has no closed form after k iterations", r)
 		}
 		fixes = append(fixes, f)
 	}
@@ -746,21 +853,31 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 	agg := p.agg[h]
 	neg := scaleDelta(agg, -1)
 	orig := p.fns[h]
+	desc := fmt.Sprintf("frame-push recursion: descend %s by %d bytes/frame, %d store(s), countdown %s (dec %d, stop %d), %d instrs/iter",
+		base, fd, len(srcs), dR, dec&maskD, stop, itD.instrs)
 	// The dominant shape — two stores, one turning constant after the
 	// first iteration (the ra slot) and one carrying the countdown chain
 	// (the saved local) — gets a peeled, branch-free loop.
 	fastCD := st2 && s0.next == nkConst && s1.next == nkD
 	return func(st *natState) int {
 		if st.m.Obs != nil {
+			// The calls in the cycle must emit observer events, so the
+			// kernel stands down for the whole activation.
+			kernelHandback(st, h, 0, 0, obs.DeoptObserver)
 			return orig(st)
 		}
 		st.acct.add(&neg)
 		r := st.regs
 		room := (st.acct.limit - st.acct.total - agg.instrs) / itD.instrs
 		var k int64
+		deopt := uint64(obs.DeoptBudget) // room <= 0: no headroom at entry
 		spv := r[base]
 		if room > 0 && spv <= uint64(len(st.mem)) && spv >= fd {
-			room = minI64(room, int64(spv/fd))
+			memRoom := int64(spv / fd)
+			capMem := memRoom < room
+			if capMem {
+				room = memRoom
+			}
 			d := r[dR]
 			var pd uint64
 			mem := st.mem
@@ -814,6 +931,14 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 					k++
 				}
 			}
+			switch {
+			case d == stop:
+				deopt = obs.DeoptCycleExit
+			case capMem && k == room:
+				deopt = obs.DeoptTrap // next push would leave memory; trap runs on the chains
+			default:
+				deopt = obs.DeoptBudget
+			}
 			if k > 0 {
 				cd := scaleDelta(itD, k)
 				st.acct.add(&cd)
@@ -821,10 +946,13 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 				r[dR] = d
 				applyFixes(r, fixes, d, pd, 0, 0, 0, 0)
 			}
+		} else if room > 0 {
+			deopt = obs.DeoptTrap // the first frame push already leaves memory
 		}
+		kernelHandback(st, h, k, k*itD.instrs, deopt)
 		st.acct.add(&agg)
 		return orig(st)
-	}
+	}, desc
 }
 
 // Kernel 3: frame-pop return (the sp1 ascent). Each full iteration
@@ -835,19 +963,28 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 // before committing to an iteration, so the final (escaping) return
 // runs on the chains. Returns would emit observer events, so the kernel
 // runs only with no observer attached.
-func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
-	tr := traceCycle(code, h, j)
-	if tr == nil || len(tr.guards) != 0 || len(tr.stores) != 0 || len(tr.rawLoads) != 2 {
-		return nil
+func matchPop(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
+	tr, why := traceCycle(code, h, j)
+	if tr == nil {
+		return nil, why
+	}
+	if len(tr.guards) != 0 {
+		return nil, fmt.Sprintf("%d guard branches in a pop cycle, need an unconditional ascent", len(tr.guards))
+	}
+	if len(tr.stores) != 0 {
+		return nil, fmt.Sprintf("%d stores in a pop cycle, need a load-only ascent", len(tr.stores))
+	}
+	if len(tr.rawLoads) != 2 {
+		return nil, fmt.Sprintf("%d frame loads in the body, need exactly 2 (ra and the carried value)", len(tr.rawLoads))
 	}
 	fra := tr.regs[RRA]
 	if fra.kind != skLoad {
-		return nil
+		return nil, "the return address is not loaded from the frame"
 	}
 	base := tr.memBase
 	fBase, fOff, ok := affineOf(tr.regs[base])
 	if !ok || fBase != base || fOff <= 0 {
-		return nil
+		return nil, fmt.Sprintf("frame base %s does not ascend by a constant per iteration", base)
 	}
 	fd := uint64(fOff)
 	var crR Reg
@@ -856,7 +993,7 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 	for _, l := range tr.rawLoads {
 		fl := tr.regs[l.dst]
 		if fl.kind != skLoad || fl.off != l.off {
-			return nil // loaded value clobbered before the cycle ends
+			return nil, fmt.Sprintf("loaded register %s is clobbered before the cycle ends", l.dst)
 		}
 		if l.dst == RRA {
 			offRA, seenRA = l.off, true
@@ -865,7 +1002,7 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		}
 	}
 	if !seenRA || crR == 0 || crR == base || offRA != fra.off || offRA < 0 || offCR < 0 {
-		return nil
+		return nil, "frame loads are not an (ra, carried-value) pair at non-negative offsets"
 	}
 	var a1R, a2R Reg
 	var mask1, mask2 uint64
@@ -893,7 +1030,7 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 		}
 		f, ok := classifyFix(tr, r, slots, have, nil)
 		if !ok {
-			return nil
+			return nil, fmt.Sprintf("modified register %s has no closed form after k iterations", r)
 		}
 		fixes = append(fixes, f)
 	}
@@ -908,18 +1045,28 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 	agg := p.agg[h]
 	neg := scaleDelta(agg, -1)
 	orig := p.fns[h]
+	desc := fmt.Sprintf("frame-pop return: ascend %s by %d bytes/frame while ra at +%d points back, carried value at +%d, %d instrs/iter",
+		base, fd, offRA, offCR, itD.instrs)
 	return func(st *natState) int {
 		if st.m.Obs != nil {
+			// The returns in the cycle must emit observer events, so the
+			// kernel stands down for the whole activation.
+			kernelHandback(st, h, 0, 0, obs.DeoptObserver)
 			return orig(st)
 		}
 		st.acct.add(&neg)
 		r := st.regs
 		room := (st.acct.limit - st.acct.total - agg.instrs) / itD.instrs
 		var k int64
+		deopt := uint64(obs.DeoptBudget) // room <= 0: no headroom at entry
 		spv := r[base]
 		mlen := uint64(len(st.mem))
 		if room > 0 && spv < mlen && spv+maxOff+8 <= mlen {
-			room = minI64(room, int64((mlen-8-maxOff-spv)/fd)+1)
+			memRoom := int64((mlen-8-maxOff-spv)/fd) + 1
+			capMem := memRoom < room
+			if capMem {
+				room = memRoom
+			}
 			a, pv, s := r[a1R], r[a2R], r[crR]
 			var pa, pp, ps uint64
 			mem := st.mem
@@ -955,6 +1102,14 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 					k++
 				}
 			}
+			switch {
+			case k < room:
+				deopt = obs.DeoptCycleExit // ra stopped pointing back at h
+			case capMem:
+				deopt = obs.DeoptTrap // next peek would leave memory; the chains take over
+			default:
+				deopt = obs.DeoptBudget
+			}
 			if k > 0 {
 				cd := scaleDelta(itD, k)
 				st.acct.add(&cd)
@@ -969,8 +1124,11 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) natFn {
 				}
 				applyFixes(r, fixes, a, pa, pv, pp, s, ps)
 			}
+		} else if room > 0 {
+			deopt = obs.DeoptTrap // the first frame peek already leaves memory
 		}
+		kernelHandback(st, h, k, k*itD.instrs, deopt)
 		st.acct.add(&agg)
 		return orig(st)
-	}
+	}, desc
 }

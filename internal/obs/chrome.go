@@ -122,6 +122,8 @@ func (o *Observer) instantName(ev Event) string {
 		return fmt.Sprintf("%s %s", ev.Kind, MechName(ev.A))
 	case KUnwindStep:
 		return fmt.Sprintf("unwind-step d=%d", ev.A)
+	case KDeopt:
+		return fmt.Sprintf("deopt %s k=%d", DeoptName(ev.A), ev.B)
 	}
 	return ev.Kind.String()
 }

@@ -58,6 +58,14 @@ func snapshotHistogram(vals []int64) HistogramSnapshot {
 type Metrics struct {
 	Counters   map[string]int64             `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// EngineName and Engine carry engine-introspection telemetry (kernel
+	// activity, deopt buckets, dispatch and fusion counts). Both are
+	// omitted unless RecordEngineTelemetry was called: the counters above
+	// are engine-independent, the engine section is engine-dependent by
+	// nature, and keeping it opt-in keeps default exports byte-identical
+	// across engines.
+	EngineName string           `json:"engine_name,omitempty"`
+	Engine     map[string]int64 `json:"engine,omitempty"`
 	// DroppedEvents counts trace events past the buffer bound; counters
 	// above include them, histograms (built from the trace) do not.
 	DroppedEvents int64 `json:"dropped_events,omitempty"`
@@ -129,5 +137,21 @@ func (o *Observer) Metrics() *Metrics {
 	if len(chainLens) > 0 {
 		h["unwind_chain_len"] = snapshotHistogram(chainLens)
 	}
-	return &Metrics{Counters: c, Histograms: h, DroppedEvents: o.Dropped}
+	m := &Metrics{Counters: c, Histograms: h, DroppedEvents: o.Dropped}
+	if o.haveET {
+		t := o.et
+		m.EngineName = t.Engine
+		m.Engine = map[string]int64{
+			"kernel_entries":   t.KernelEntries,
+			"kernel_iters":     t.KernelIters,
+			"kernel_instrs":    t.KernelInstrs,
+			"deopt_cycle_exit": t.DeoptCycleExit,
+			"deopt_trap_edge":  t.DeoptTrap,
+			"deopt_budget":     t.DeoptBudget,
+			"deopt_observer":   t.DeoptObserver,
+			"chain_dispatches": t.ChainDispatches,
+			"fusion_hits":      t.FusionHits,
+		}
+	}
+	return m
 }

@@ -71,6 +71,11 @@ const (
 	KDispatchEnd
 	// KSetjmpCopy: a modeled setjmp buffer copy. B = bytes copied.
 	KSetjmpCopy
+	// KDeopt: a native-tier distilled kernel handed control back to the
+	// ordinary closure chains. A = deopt reason (Deopt*), B = closed-form
+	// iterations the kernel charged before handing back. Engine-specific,
+	// so it is emitted only when Observer.EngineEvents is set.
+	KDeopt
 
 	kindCount
 )
@@ -90,6 +95,7 @@ var kindNames = [kindCount]string{
 	KDispatch:     "dispatch",
 	KDispatchEnd:  "dispatch-end",
 	KSetjmpCopy:   "setjmp-copy",
+	KDeopt:        "deopt",
 }
 
 func (k Kind) String() string {
@@ -118,6 +124,30 @@ func MechName(mech uint64) string {
 		return "register"
 	}
 	return fmt.Sprintf("mech(%d)", mech)
+}
+
+// Deopt reasons, for KDeopt's A payload and the per-reason telemetry
+// buckets: why a distilled kernel handed control back to the chains.
+const (
+	DeoptCycleExit = 1 // the cycle's own exit condition was reached
+	DeoptTrap      = 2 // stopped at a memory bound so a potential trap runs on the chains
+	DeoptBudget    = 3 // stopped at the instruction-budget edge
+	DeoptObserver  = 4 // kernel refused to run: an observer needs the cycle's events
+)
+
+// DeoptName names a deopt reason.
+func DeoptName(r uint64) string {
+	switch r {
+	case DeoptCycleExit:
+		return "cycle-exit"
+	case DeoptTrap:
+		return "trap-edge"
+	case DeoptBudget:
+		return "budget-edge"
+	case DeoptObserver:
+		return "observer"
+	}
+	return fmt.Sprintf("deopt(%d)", r)
 }
 
 // Event is one observed occurrence. Ts is the simulated-cycle timestamp
@@ -150,6 +180,11 @@ type Observer struct {
 	// reached. Counters below keep counting dropped events.
 	Dropped int64
 
+	// EngineEvents opts in to engine-specific events (KDeopt). Off by
+	// default: the parity suites require identical event streams across
+	// engines, and deopt points exist only on the native tier.
+	EngineEvents bool
+
 	// Clock supplies (cycles, instrs) timestamps for emitters that do not
 	// carry the machine state themselves (the dispatchers, via EmitNow).
 	// Installed by whoever attaches the observer to an execution.
@@ -164,6 +199,8 @@ type Observer struct {
 	spans       []Span
 	mc          MachineCounters
 	haveMC      bool
+	et          EngineTelemetry
+	haveET      bool
 }
 
 // New returns an enabled observer with the default trace bound.
@@ -242,6 +279,32 @@ type MachineCounters struct {
 func (o *Observer) RecordMachineCounters(c MachineCounters) {
 	o.mc = c
 	o.haveMC = true
+}
+
+// EngineTelemetry mirrors the machine's engine-introspection counters
+// (machine.Telemetry) so exporters can render them without obs importing
+// the machine. Unlike MachineCounters these are engine-DEPENDENT: the
+// same program produces different telemetry under ref, fast, and native.
+type EngineTelemetry struct {
+	Engine          string // "ref", "fast", or "native"
+	KernelEntries   int64
+	KernelIters     int64
+	KernelInstrs    int64
+	DeoptCycleExit  int64
+	DeoptTrap       int64
+	DeoptBudget     int64
+	DeoptObserver   int64
+	ChainDispatches int64
+	FusionHits      int64
+}
+
+// RecordEngineTelemetry snapshots the engine-introspection counters into
+// the observer. They surface as the metrics export's "engine" section,
+// which is present only after this call — keeping the default metrics
+// JSON engine-independent (and byte-identical to pre-telemetry goldens).
+func (o *Observer) RecordEngineTelemetry(t EngineTelemetry) {
+	o.et = t
+	o.haveET = true
 }
 
 // Span is one compile-pass interval on the observer's compile timeline,

@@ -374,3 +374,81 @@ func TestKindAndMechNames(t *testing.T) {
 		t.Errorf("mech names wrong")
 	}
 }
+
+func TestDeoptNamesAndKind(t *testing.T) {
+	if KDeopt.String() != "deopt" {
+		t.Errorf("KDeopt name = %s, want deopt", KDeopt)
+	}
+	names := map[uint64]string{
+		DeoptCycleExit: "cycle-exit",
+		DeoptTrap:      "trap-edge",
+		DeoptBudget:    "budget-edge",
+		DeoptObserver:  "observer",
+	}
+	for r, want := range names {
+		if got := DeoptName(r); got != want {
+			t.Errorf("DeoptName(%d) = %s, want %s", r, got, want)
+		}
+	}
+	if got := DeoptName(99); got != "deopt(99)" {
+		t.Errorf("out-of-range deopt reason: %s", got)
+	}
+}
+
+// TestEngineTelemetryMetrics: the metrics "engine" section appears only
+// after RecordEngineTelemetry — the rest of the export is engine-
+// independent and must not change shape when no telemetry is recorded.
+func TestEngineTelemetryMetrics(t *testing.T) {
+	o := cutScenario()
+	plain, err := o.Metrics().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte(`"engine"`)) {
+		t.Error("metrics JSON has an engine section without RecordEngineTelemetry")
+	}
+
+	o.RecordEngineTelemetry(EngineTelemetry{
+		Engine: "native", KernelEntries: 2, KernelIters: 40, KernelInstrs: 600,
+		DeoptCycleExit: 2, ChainDispatches: 9,
+	})
+	m := o.Metrics()
+	if m.EngineName != "native" {
+		t.Errorf("engine name = %q, want native", m.EngineName)
+	}
+	want := map[string]int64{
+		"kernel_entries": 2, "kernel_iters": 40, "kernel_instrs": 600,
+		"deopt_cycle_exit": 2, "deopt_trap_edge": 0, "deopt_budget": 0,
+		"deopt_observer": 0, "chain_dispatches": 9, "fusion_hits": 0,
+	}
+	for k, v := range want {
+		if m.Engine[k] != v {
+			t.Errorf("engine[%s] = %d, want %d", k, m.Engine[k], v)
+		}
+	}
+	a, err := o.Metrics().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Metrics().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("engine-telemetry metrics JSON is not deterministic")
+	}
+}
+
+// TestDeoptChromeInstant: KDeopt renders as a named instant event in
+// the Chrome trace, carrying the bucket name and iteration count.
+func TestDeoptChromeInstant(t *testing.T) {
+	o := New()
+	o.Emit(Event{Kind: KDeopt, Ts: 10, PC: 7, A: DeoptBudget, B: 128})
+	var buf bytes.Buffer
+	if err := o.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("deopt budget-edge k=128")) {
+		t.Errorf("chrome trace lacks the deopt instant:\n%s", buf.String())
+	}
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
@@ -139,4 +140,59 @@ func TestObsDisabledPathBitIdentical(t *testing.T) {
 	check("unwind", unwind, "f", []uint64{8}, WithRuntime(RuntimeFunc(unwindWalker)))
 	cut := compile(t, cutParitySrc, codegen.Options{})
 	check("cut", cut, "f", []uint64{8}, WithRuntime(RuntimeFunc(cutWalker)))
+}
+
+// TestObsTelemetryNeutralAndStable extends the disabled-path guarantee
+// to the engine-introspection counters: telemetry accrues whether or
+// not an observer is attached (bit-identity of Stats above proves it
+// never feeds the simulated state), is deterministic run to run on
+// every engine, and the metrics export that carries an engine section
+// is byte-stable.
+func TestObsTelemetryNeutralAndStable(t *testing.T) {
+	src := progen.Generate(3, progen.Config{Exceptions: true})
+	cp := compile(t, src, codegen.Options{})
+
+	for _, e := range []machine.Engine{machine.EngineRef, machine.EngineFast, machine.EngineNative} {
+		telem := func(opts ...Option) machine.Telemetry {
+			inst, err := NewInstance(cp, append([]Option{WithEngine(e), WithMemSize(1 << 20)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst.M.MaxInstrs = parityBudget
+			inst.Run("p0", 7) // a trap is fine; telemetry up to it is still deterministic
+			return inst.Telemetry()
+		}
+		if a, b := telem(), telem(); a != b {
+			t.Errorf("engine=%v: telemetry not deterministic\n1st %+v\n2nd %+v", e, a, b)
+		}
+		if e == machine.EngineRef {
+			if got := telem(); got != (machine.Telemetry{}) {
+				t.Errorf("ref engine telemetry not zero: %+v", got)
+			}
+		}
+	}
+
+	metricsJSON := func() []byte {
+		o := obs.New()
+		inst, err := NewInstance(cp, WithEngine(machine.EngineNative), WithMemSize(1<<20), WithObserver(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.M.MaxInstrs = parityBudget
+		inst.Run("p0", 7)
+		inst.RecordObsCounters()
+		inst.RecordEngineTelemetry()
+		data, err := o.Metrics().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := metricsJSON(), metricsJSON()
+	if !bytes.Equal(a, b) {
+		t.Error("metrics JSON with an engine section is not byte-stable")
+	}
+	if !bytes.Contains(a, []byte(`"engine_name"`)) {
+		t.Errorf("metrics JSON lacks the engine section:\n%s", a)
+	}
 }

@@ -211,8 +211,35 @@ func (inst *Instance) Run(proc string, args ...uint64) ([]uint64, error) {
 // Stats exposes the machine's counters.
 func (inst *Instance) Stats() machine.Counters { return inst.M.Stats }
 
-// ResetStats zeroes the counters (between benchmark phases).
-func (inst *Instance) ResetStats() { inst.M.Stats = machine.Counters{} }
+// ResetStats zeroes the counters and the engine telemetry (between
+// benchmark phases).
+func (inst *Instance) ResetStats() {
+	inst.M.Stats = machine.Counters{}
+	inst.M.Telem = machine.Telemetry{}
+}
+
+// Telemetry exposes the machine's engine-introspection counters (kernel
+// activity, deopt buckets, dispatch and fusion counts). Deterministic
+// per engine, all-zero under the reference engine.
+func (inst *Instance) Telemetry() machine.Telemetry { return inst.M.Telem }
+
+// ExplainKernels returns the native distiller's per-cycle report for the
+// loaded program: which candidate cycles matched a closed-form kernel
+// and why the rest kept their chains. Compile-time only — no execution.
+func (inst *Instance) ExplainKernels() []machine.KernelCandidate {
+	return inst.M.ExplainKernels()
+}
+
+// EngineName names the instance's selected engine.
+func (inst *Instance) EngineName() string {
+	switch inst.M.Engine {
+	case machine.EngineRef:
+		return "ref"
+	case machine.EngineNative:
+		return "native"
+	}
+	return "fast"
+}
 
 // Observer returns the attached observability sink, or nil.
 func (inst *Instance) Observer() *obs.Observer { return inst.obs }
@@ -227,5 +254,28 @@ func (inst *Instance) RecordObsCounters() {
 	inst.obs.RecordMachineCounters(obs.MachineCounters{
 		Cycles: s.Cycles, Instrs: s.Instrs, Loads: s.Loads, Stores: s.Stores,
 		Branches: s.Branches, Calls: s.Calls, Yields: s.Yields,
+	})
+}
+
+// RecordEngineTelemetry snapshots the engine-introspection counters into
+// the attached observer: the metrics export grows an "engine" section.
+// Opt-in (a no-op without an observer) because the section is
+// engine-dependent while the rest of the export is engine-independent.
+func (inst *Instance) RecordEngineTelemetry() {
+	if inst.obs == nil {
+		return
+	}
+	t := inst.M.Telem
+	inst.obs.RecordEngineTelemetry(obs.EngineTelemetry{
+		Engine:          inst.EngineName(),
+		KernelEntries:   t.KernelEntries,
+		KernelIters:     t.KernelIters,
+		KernelInstrs:    t.KernelInstrs,
+		DeoptCycleExit:  t.DeoptCycleExit,
+		DeoptTrap:       t.DeoptTrap,
+		DeoptBudget:     t.DeoptBudget,
+		DeoptObserver:   t.DeoptObserver,
+		ChainDispatches: t.ChainDispatches,
+		FusionHits:      t.FusionHits,
 	})
 }

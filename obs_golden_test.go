@@ -209,3 +209,34 @@ func TestObsInterpCoverage(t *testing.T) {
 		t.Errorf("interp recorded %d unwind dispatches, want 1", o.DispatchCount(obs.MechUnwind))
 	}
 }
+
+// TestObsNativeTelemetryGolden pins the metrics JSON that carries the
+// opt-in engine section: a native-engine run of the Figure 1 counted
+// workload (sp3) with RecordEngineTelemetry called. The telemetry is
+// deterministic — kernel iteration counts included — so the whole
+// export is golden-stable byte for byte.
+func TestObsNativeTelemetryGolden(t *testing.T) {
+	mod, err := cmm.Load(paper.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cmm.NewObserver()
+	mach, err := mod.Native(cmm.CompileConfig{}, cmm.WithObserver(o), cmm.WithEngine(cmm.EngineNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Run("sp3", 10); err != nil {
+		t.Fatal(err)
+	}
+	mach.RecordObsCounters()
+	mach.RecordEngineTelemetry()
+	metrics, err := o.Metrics().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "native-telemetry.metrics.json", metrics)
+	if !bytes.Contains(metrics, []byte(`"engine_name": "native"`)) &&
+		!bytes.Contains(metrics, []byte(`"engine_name":"native"`)) {
+		t.Errorf("metrics JSON lacks the engine section:\n%s", metrics)
+	}
+}

@@ -293,8 +293,87 @@ type Stats = machine.Counters
 // Stats reports accumulated execution statistics.
 func (mc *Machine) Stats() Stats { return mc.inst.Stats() }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the counters and the engine telemetry.
 func (mc *Machine) ResetStats() { mc.inst.ResetStats() }
+
+// Telemetry is the engine-introspection counter set: kernel entries and
+// closed-form iterations on the native tier, deopt events bucketed by
+// reason, trampoline dispatches, and superinstruction-fusion hits on the
+// fast engine. Unlike Stats it is engine-DEPENDENT by design, but it is
+// deterministic for a given (program, engine, budget) and never feeds
+// back into the simulated counters.
+type Telemetry = machine.Telemetry
+
+// Telemetry reports the machine's engine-introspection counters.
+func (mc *Machine) Telemetry() Telemetry { return mc.inst.Telemetry() }
+
+// EngineName names the machine's selected engine ("ref", "fast", or
+// "native").
+func (mc *Machine) EngineName() string { return mc.inst.EngineName() }
+
+// RecordEngineTelemetry snapshots the engine-introspection counters into
+// the attached observer, adding the engine-dependent "engine" section to
+// the metrics export. Opt-in — without this call the export stays
+// engine-independent. A no-op without an observer.
+func (mc *Machine) RecordEngineTelemetry() { mc.inst.RecordEngineTelemetry() }
+
+// KernelCandidate is one cycle the native distiller considered: the
+// kernel shape that matched (with its closed form) or the precise reason
+// the cycle kept its ordinary closure chains.
+type KernelCandidate = machine.KernelCandidate
+
+// KernelReport is the distiller's compile-time explain output: one
+// verdict per candidate cycle of the compiled program.
+type KernelReport struct {
+	Candidates []KernelCandidate
+}
+
+// Matched counts the candidates that were distilled into kernels.
+func (r KernelReport) Matched() int {
+	n := 0
+	for _, c := range r.Candidates {
+		if c.Matched {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders the report for humans, one line per candidate. The
+// resolve function maps a code index to a procedure name; nil is fine.
+func (r KernelReport) Format(resolve func(pc int) string) string {
+	out := fmt.Sprintf("kernel report: %d of %d candidate cycles distilled\n", r.Matched(), len(r.Candidates))
+	for _, c := range r.Candidates {
+		where := ""
+		if resolve != nil {
+			if name := resolve(c.Header); name != "" {
+				where = " in " + name
+			}
+		}
+		verdict := "rejected"
+		if c.Matched {
+			verdict = "matched"
+		}
+		out += fmt.Sprintf("  pc %d..%d %s%s: %s — %s\n", c.Header, c.End, c.Shape, where, verdict, c.Reason)
+	}
+	return out
+}
+
+// KernelReport returns the native distiller's explain report for the
+// compiled program. Compile-time introspection only: it forces the
+// native-tier compile but executes nothing, so it works regardless of
+// which engine will run the program.
+func (mc *Machine) KernelReport() KernelReport {
+	return KernelReport{Candidates: mc.inst.ExplainKernels()}
+}
+
+// ProcAt resolves a code index to the procedure containing it, or "".
+func (mc *Machine) ProcAt(pc int) string {
+	if pi := mc.prog.ProcAt(pc); pi != nil {
+		return pi.Name
+	}
+	return ""
+}
 
 // Observer returns the attached observability sink, or nil.
 func (mc *Machine) Observer() *Observer { return mc.inst.Observer() }
