@@ -16,6 +16,7 @@
 //	go run ./cmd/cmmbench -olevels -json BENCH_pr5.json   # + JSON report
 //	go run ./cmd/cmmbench -olevels -goldens testdata/bench
 //	go run ./cmd/cmmbench -report -json BENCH_pr8.json    # combined report
+//	go run ./cmd/cmmbench -stacks -json BENCH_pr9.json -update-experiments EXPERIMENTS.md
 //
 // -bench measures host throughput (ns/op and simulated instructions
 // retired per host second) of both execution engines on fixed workloads
@@ -57,6 +58,8 @@ var (
 	enginesMode  = flag.Bool("engines", false, "measure host throughput of all three engines on the fixed workloads")
 	olevelsMode  = flag.Bool("olevels", false, "measure simulated cycles of the fixed workloads at -O0 and -O2")
 	reportMode   = flag.Bool("report", false, "run both the -olevels and -engines measurements; with -json, write one combined report for the cmmreport sentinel")
+	stacksMode   = flag.Bool("stacks", false, "race the four stack policies across the Figure 2 mechanisms; with -json, write the strategy × mechanism matrix")
+	updateExp    = flag.String("update-experiments", "", "with -stacks, splice the matrix between the cmmstacks markers of this file (EXPERIMENTS.md)")
 	outFile      = flag.String("out", "", "write output to this file instead of stdout")
 	jsonOut      = flag.String("json", "", "with -olevels/-engines/-report, also write the report as JSON to this file")
 	goldenDir    = flag.String("goldens", "", "with -olevels, diff results against DIR/<name>.golden and fail on drift")
@@ -119,6 +122,8 @@ func main() {
 		err = writeBench(out)
 	case *reportMode:
 		err = writeReport(out)
+	case *stacksMode:
+		err = writeStacks(out)
 	case *enginesMode:
 		err = writeEngines(out)
 	case *olevelsMode:

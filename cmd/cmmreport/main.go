@@ -21,6 +21,9 @@
 //     gated. A drop past -max-throughput-regression fails the run.
 //   - Kernel-hit rate (native tier, schema v2+) is informational:
 //     printed in the table, never gated.
+//   - Stack-policy bookkeeping cycles (from "stacks" rows written by
+//     cmmbench -stacks) are informational: the policies race each
+//     other by design, so the trend is printed but never gated.
 //
 // -update-experiments FILE splices the rendered table between the
 // `<!-- cmmreport:begin -->` / `<!-- cmmreport:end -->` markers in FILE
@@ -127,6 +130,11 @@ type rawReport struct {
 		Engine          string  `json:"engine"`
 		SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
 	} `json:"benchmarks"`
+	Stacks []struct {
+		Workload     string `json:"workload"`
+		Policy       string `json:"policy"`
+		PolicyCycles int64  `json:"policy_cycles"`
+	} `json:"stacks"`
 }
 
 // benchReport is one normalized input file.
@@ -137,6 +145,7 @@ type benchReport struct {
 	Cycles  map[string]int64   // workload -> -O2 simulated cycles
 	Thru    map[string]float64 // workload -> native sim instrs/s
 	HitPct  map[string]float64 // workload -> native kernel-hit % (schema v2+)
+	Stacks  map[string]int64   // "workload/policy" -> stack-policy bookkeeping cycles
 	HaveHit bool
 }
 
@@ -168,12 +177,13 @@ func parseReport(name string, data []byte) (benchReport, error) {
 		Cycles: map[string]int64{},
 		Thru:   map[string]float64{},
 		HitPct: map[string]float64{},
+		Stacks: map[string]int64{},
 	}
 	if r.Schema == 0 {
 		r.Schema = 1
 	}
-	if raw.OLevels == nil && raw.Engines == nil && raw.Benchmarks == nil {
-		return r, fmt.Errorf("%s: no olevels, engines, or benchmarks section", name)
+	if raw.OLevels == nil && raw.Engines == nil && raw.Benchmarks == nil && raw.Stacks == nil {
+		return r, fmt.Errorf("%s: no olevels, engines, benchmarks, or stacks section", name)
 	}
 	for _, o := range raw.OLevels {
 		r.Cycles[o.Name] = o.O2Cycles
@@ -193,6 +203,9 @@ func parseReport(name string, data []byte) (benchReport, error) {
 		if b.Engine == "native" || (b.Engine == "fast" && r.Thru[b.Name] == 0) {
 			r.Thru[b.Name] = b.SimInstrsPerSec
 		}
+	}
+	for _, s := range raw.Stacks {
+		r.Stacks[s.Workload+"/"+s.Policy] = s.PolicyCycles
 	}
 	return r, nil
 }
@@ -298,6 +311,34 @@ func renderTrend(reports []benchReport) string {
 			for i := range reports {
 				if have[i] {
 					fmt.Fprintf(&b, " %.0f |", vals[i]/1e6)
+				} else {
+					fmt.Fprint(&b, " — |")
+				}
+			}
+			fmt.Fprintf(&b, " %s |\n", deltaPct(vals, have))
+		}
+		b.WriteString("\n")
+	}
+
+	// Stack-policy bookkeeping cycles: deterministic shadow-model costs
+	// from cmmbench -stacks. Informational only — the policies race each
+	// other by design, so a rise is a cost-model change, not a
+	// regression, and never gates.
+	if names := workloadsOf(reports, func(r benchReport) map[string]int64 { return r.Stacks }); len(names) > 0 {
+		fmt.Fprintf(&b, "### Stack-policy bookkeeping cycles (workload/policy, informational)\n\n")
+		writeHeader(&b, labels)
+		for _, n := range names {
+			vals, have := seriesF(reports, n, func(r benchReport) map[string]float64 {
+				out := map[string]float64{}
+				for k, v := range r.Stacks {
+					out[k] = float64(v)
+				}
+				return out
+			})
+			fmt.Fprintf(&b, "| %s |", n)
+			for i := range reports {
+				if have[i] {
+					fmt.Fprintf(&b, " %d |", int64(vals[i]))
 				} else {
 					fmt.Fprint(&b, " — |")
 				}

@@ -96,6 +96,35 @@ func TestParseAllSchemas(t *testing.T) {
 	}
 }
 
+const v2Stacks = `{
+  "schema_version": 2,
+  "host": {"goos": "linux", "goarch": "amd64", "cpus": 8, "go_version": "go1.24.0"},
+  "engine_names": ["fast"],
+  "stacks": [
+    {"workload": "fig2_cut_to", "policy": "contig", "policy_cycles": 4},
+    {"workload": "fig2_cut_to", "policy": "copy", "policy_cycles": 46}
+  ]
+}`
+
+// TestParseStacksOnly: a cmmbench -stacks report carries only a
+// "stacks" section and must still load; its rows are informational
+// (rendered, never gated).
+func TestParseStacksOnly(t *testing.T) {
+	r := mustParse(t, "pr9", v2Stacks)
+	if r.Stacks["fig2_cut_to/contig"] != 4 || r.Stacks["fig2_cut_to/copy"] != 46 {
+		t.Errorf("stacks rows = %v", r.Stacks)
+	}
+	old := mustParse(t, "pr8", v2Report(299, 5e9, 8))
+	if regr := findRegressions([]benchReport{old, r}, 0.10, 0.02); len(regr) != 0 {
+		t.Errorf("stacks-only report must not gate anything, got %v", regr)
+	}
+	table := renderTrend([]benchReport{old, r})
+	if !strings.Contains(table, "### Stack-policy bookkeeping cycles") ||
+		!strings.Contains(table, "| fig2_cut_to/copy | — | 46 | — |") {
+		t.Errorf("trend table lacks the stacks section:\n%s", table)
+	}
+}
+
 func TestLabelFromPath(t *testing.T) {
 	for path, want := range map[string]string{
 		"BENCH_pr5.json":       "pr5",

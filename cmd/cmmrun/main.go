@@ -88,6 +88,8 @@ var (
 	vet         = flag.Bool("vet", false, "run the §4 well-formedness verifier before running; verifier errors fail the load (see VERIFIER.md)")
 	explain     = flag.Bool("explain", false, "print the native distiller's kernel report before running: which candidate cycles matched a closed-form kernel, and the precise rejection reason for the rest")
 	telemetry   = flag.Bool("telemetry", false, "print engine-introspection counters after the run (kernel entries/iters, deopt buckets, dispatches, fusion hits; machine engines only)")
+	stackPolicy = flag.String("stack", "", "activation-stack policy: contig, seg, copy, or hybrid (machine engines only); prints the policy's ledger after the run and adds the stack section to -metrics")
+	contMode    = flag.String("cont", "", "continuation reuse contract: oneshot or multishot (machine engines only; violations trap deterministically)")
 )
 
 func main() {
@@ -139,6 +141,26 @@ func main() {
 	}
 	if observer != nil {
 		opts = append(opts, cmm.WithObserver(observer))
+	}
+	if *stackPolicy != "" {
+		if *engine == "interp" {
+			fatal("flags", fmt.Errorf("-stack needs a machine engine (fast, ref, or native); the §5 abstract machine has no activation-stack representation"))
+		}
+		k, err := cmm.ParseStackPolicy(*stackPolicy)
+		if err != nil {
+			fatal("flags", err)
+		}
+		opts = append(opts, cmm.WithStackPolicy(k))
+	}
+	if *contMode != "" {
+		if *engine == "interp" {
+			fatal("flags", fmt.Errorf("-cont needs a machine engine (fast, ref, or native)"))
+		}
+		mode, err := cmm.ParseContMode(*contMode)
+		if err != nil {
+			fatal("flags", err)
+		}
+		opts = append(opts, cmm.WithContMode(mode))
 	}
 
 	var args []uint64
@@ -208,6 +230,7 @@ func main() {
 		res, err := mach.Run(*runProc, args...)
 		mach.RecordObsCounters()
 		mach.RecordEngineTelemetry()
+		mach.RecordStackStats()
 		if err != nil {
 			writeObservations(mod, observer)
 			fatal("run", err)
@@ -218,6 +241,9 @@ func main() {
 		}
 		if *telemetry {
 			printTelemetry(mach)
+		}
+		if *stackPolicy != "" {
+			printStackStats(mach)
 		}
 	default:
 		fatal("flags", fmt.Errorf("unknown engine %q (valid engines: interp, fast, ref, native)", *engine))
@@ -251,10 +277,17 @@ func printMachineStats(mach *cmm.Machine) {
 
 func printTelemetry(mach *cmm.Machine) {
 	t := mach.Telemetry()
-	fmt.Printf("telemetry[%s]: kernel entries: %d iters: %d instrs: %d | deopts cycle-exit: %d trap-edge: %d budget: %d observer: %d | dispatches: %d fusion hits: %d\n",
+	fmt.Printf("telemetry[%s]: kernel entries: %d iters: %d instrs: %d | deopts cycle-exit: %d trap-edge: %d budget: %d observer: %d stack-policy: %d | dispatches: %d fusion hits: %d\n",
 		mach.EngineName(), t.KernelEntries, t.KernelIters, t.KernelInstrs,
-		t.DeoptCycleExit, t.DeoptTrap, t.DeoptBudget, t.DeoptObserver,
+		t.DeoptCycleExit, t.DeoptTrap, t.DeoptBudget, t.DeoptObserver, t.DeoptPolicy,
 		t.ChainDispatches, t.FusionHits)
+}
+
+func printStackStats(mach *cmm.Machine) {
+	s := mach.StackStats()
+	fmt.Printf("stack[%s]: policy-cycles: %d cuts: %d captures: %d capture-words: %d resumes: %d overflows: %d underflows: %d segments-peak: %d\n",
+		mach.StackPolicyName(), s.PolicyCycles, s.Cuts, s.Captures, s.CaptureWords, s.Resumes,
+		s.Overflows, s.Underflows, s.SegmentsPeak)
 }
 
 func printInterpStats(in *cmm.Interp) {

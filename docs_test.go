@@ -20,7 +20,7 @@ import (
 // docFiles are the markdown documents whose fenced examples are under
 // test. EXPERIMENTS.md holds measured output, not examples, and
 // CHANGES.md is a log; neither carries testable fences.
-var docFiles = []string{"README.md", "DESIGN.md", "VERIFIER.md"}
+var docFiles = []string{"README.md", "DESIGN.md", "VERIFIER.md", "STACKS.md"}
 
 // fence is one fenced code block: its info string split into the
 // language token and key=value attributes, plus the body.
@@ -97,10 +97,11 @@ func TestDocsExamplesInSync(t *testing.T) {
 		}
 	}
 	// The suite covers the 11 VERIFIER.md corpus modules plus the
-	// quickstart and the two README C-- examples; a collapse in this
-	// count means the extraction convention broke, not the docs.
-	if tagged < 14 {
-		t.Errorf("only %d file-tagged fences found across %v; expected at least 14", tagged, docFiles)
+	// quickstart, the two README C-- examples, and the two STACKS.md
+	// examples; a collapse in this count means the extraction convention
+	// broke, not the docs.
+	if tagged < 16 {
+		t.Errorf("only %d file-tagged fences found across %v; expected at least 16", tagged, docFiles)
 	}
 }
 
@@ -119,6 +120,10 @@ func TestDocsCmmExamplesVerifyAndRun(t *testing.T) {
 		// x=5: %%divu(5,2)=2, return <0/1> lands in k4: 2+4 = 6;
 		// x=0: g cuts to k1(99): 99+1 = 100.
 		"examples/docs/annotations.cmm": {{[]uint64{5}, 6}, {[]uint64{0}, 100}},
+		// One cut discards all depth activations: f(64) and f(0) both 42.
+		"examples/docs/deep_cut.cmm": {{[]uint64{64}, 42}, {[]uint64{0}, 42}},
+		// k is re-cut until c reaches n: f(3)=3; f(0) fires once, so 1.
+		"examples/docs/multishot_counter.cmm": {{[]uint64{3}, 3}, {[]uint64{0}, 1}},
 	}
 	files, err := filepath.Glob("examples/docs/*.cmm")
 	if err != nil {

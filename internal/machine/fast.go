@@ -23,6 +23,7 @@ func (m *Machine) RunFast() error {
 	m.ensureDecoded()
 	m.halted = false
 	m.runStart = m.Stats.Instrs
+	m.beginPolicyRun()
 	return m.fastLoop()
 }
 
@@ -104,6 +105,7 @@ func (m *Machine) fastChunk() error {
 	regs[RZero] = 0
 	pc := m.PC
 	obsv := m.Obs
+	pol := m.Policy
 	var a chunkAcct
 	a.begin(m)
 	for {
@@ -238,15 +240,27 @@ func (m *Machine) fastChunk() error {
 				a.flush(m, pc)
 				return m.trapf("indirect jump to non-code address %#x", v)
 			}
-			if obsv != nil && op.flags == MarkCut {
-				obsv.Emit(obs.Event{Kind: obs.KCutTo, Ts: a.ts(), Instr: a.total,
-					PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
+			if op.flags == MarkCut {
+				if msg := m.cutViolation(idx, regs[RSP]); msg != "" {
+					a.flush(m, pc)
+					return m.trapf("%s", msg)
+				}
+				if pol != nil {
+					pol.OnCut(idx, regs[RSP])
+				}
+				if obsv != nil {
+					obsv.Emit(obs.Event{Kind: obs.KCutTo, Ts: a.ts(), Instr: a.total,
+						PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
+				}
 			}
 			pc = idx
 		case fCall:
 			regs[RRA] = CodeAddr(pc + 1)
 			a.cycles += op.cyc
 			a.calls++
+			if pol != nil {
+				pol.OnCall(regs[RSP])
+			}
 			if obsv != nil {
 				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: a.ts(), Instr: a.total,
 					PC: int32(pc), SP: regs[RSP], A: uint64(op.target)})
@@ -271,6 +285,9 @@ func (m *Machine) fastChunk() error {
 				a.flush(m, pc)
 				return m.trapf("indirect call to non-code address %#x", v)
 			}
+			if pol != nil {
+				pol.OnCall(regs[RSP])
+			}
 			if obsv != nil {
 				obsv.Emit(obs.Event{Kind: obs.KCall, Ts: a.ts(), Instr: a.total,
 					PC: int32(pc), SP: regs[RSP], A: uint64(idx)})
@@ -286,6 +303,9 @@ func (m *Machine) fastChunk() error {
 			next := idx + int(op.imm)
 			a.cycles += op.cyc
 			a.branches++
+			if pol != nil {
+				pol.OnReturn(regs[RSP])
+			}
 			if obsv != nil {
 				k := obs.KReturn
 				if op.flags == MarkAltReturn {
@@ -299,6 +319,9 @@ func (m *Machine) fastChunk() error {
 			a.cycles += op.cyc
 			a.flush(m, pc)
 			m.Stats.Yields++
+			if pol != nil {
+				pol.OnYield(regs[RSP])
+			}
 			if obsv != nil {
 				obsv.Emit(obs.Event{Kind: obs.KYield, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
 					PC: int32(pc), SP: regs[RSP], A: regs[RA0]})

@@ -272,6 +272,7 @@ type Telemetry struct {
 	DeoptTrap      int64 // stopped at a memory bound: a potential trap must run on the chains
 	DeoptBudget    int64 // stopped at the instruction-budget edge
 	DeoptObserver  int64 // kernel refused to run: an observer needs the cycle's events
+	DeoptPolicy    int64 // kernel refused to run: a non-contiguous stack policy needs the cycle's hooks
 	// ChainDispatches counts native-tier trampoline dispatches (one per
 	// closure-chain entry).
 	ChainDispatches int64
@@ -316,15 +317,28 @@ type Machine struct {
 	// deterministic per engine.
 	Telem Telemetry
 
-	// Engine selects the Run loop (fast threaded code vs. reference
-	// stepper). Simulated counters are identical under both.
+	// Engine selects the Run loop (fast threaded code, reference
+	// stepper, or the native tier). Simulated counters are identical
+	// under all of them.
 	Engine Engine
 
 	// Obs, when non-nil, receives control-transfer events (calls,
-	// returns, cuts, yields, foreign calls) from both engines. Observers
+	// returns, cuts, yields, foreign calls) from every engine. Observers
 	// are passive: counters, registers, and memory are bit-identical with
-	// or without one, and both engines emit identical event streams.
+	// or without one, and all engines emit identical event streams.
 	Obs *obs.Observer
+
+	// Policy, when non-nil, is the activation-stack strategy's shadow
+	// model (stackpolicy.go). Like Obs it is passive and nil-guarded:
+	// its costs accrue to its own StackStats ledger, never to Stats, so
+	// execution is bit-identical with or without one.
+	Policy StackPolicy
+
+	// ContMode selects the machine-checked one-shot/multi-shot reuse
+	// contract on cut continuations; contSeen tracks, per run, which
+	// continuations have been cut to when the mode is not unchecked.
+	ContMode ContMode
+	contSeen map[contKey]bool
 
 	// Runtime hooks installed by the loader.
 	YieldHandler func(m *Machine) error
@@ -410,6 +424,7 @@ func (m *Machine) Run() error {
 	}
 	m.halted = false
 	m.runStart = m.Stats.Instrs
+	m.beginPolicyRun()
 	for !m.halted {
 		if err := m.Step(); err != nil {
 			return err
@@ -540,9 +555,20 @@ func (m *Machine) Step() error {
 		if !ok {
 			return m.trapf("indirect jump to non-code address %#x", m.reg(in.Rs))
 		}
-		if m.Obs != nil && in.Mark == MarkCut {
-			m.Obs.Emit(obs.Event{Kind: obs.KCutTo, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
-				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(idx)})
+		if in.Mark == MarkCut {
+			// The compiled cut sequence has already loaded the target sp
+			// into RSP, so the reuse check and the policy hook see the
+			// continuation's own (pc, sp) identity.
+			if msg := m.cutViolation(idx, m.Regs[RSP]); msg != "" {
+				return m.trapf("%s", msg)
+			}
+			if m.Policy != nil {
+				m.Policy.OnCut(idx, m.Regs[RSP])
+			}
+			if m.Obs != nil {
+				m.Obs.Emit(obs.Event{Kind: obs.KCutTo, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
+					PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(idx)})
+			}
 		}
 		next = idx
 	case OpCall:
@@ -550,6 +576,9 @@ func (m *Machine) Step() error {
 		next = in.Target
 		m.Stats.Cycles += m.Cost.Call
 		m.Stats.Calls++
+		if m.Policy != nil {
+			m.Policy.OnCall(m.Regs[RSP])
+		}
 		if m.Obs != nil {
 			m.Obs.Emit(obs.Event{Kind: obs.KCall, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
 				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(in.Target)})
@@ -570,6 +599,9 @@ func (m *Machine) Step() error {
 		if !ok {
 			return m.trapf("indirect call to non-code address %#x", m.reg(in.Rs))
 		}
+		if m.Policy != nil {
+			m.Policy.OnCall(m.Regs[RSP])
+		}
 		if m.Obs != nil {
 			m.Obs.Emit(obs.Event{Kind: obs.KCall, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
 				PC: int32(m.PC), SP: m.Regs[RSP], A: uint64(idx)})
@@ -583,6 +615,9 @@ func (m *Machine) Step() error {
 		next = idx + int(in.Imm)
 		m.Stats.Cycles += m.Cost.Ret
 		m.Stats.Branches++
+		if m.Policy != nil {
+			m.Policy.OnReturn(m.Regs[RSP])
+		}
 		if m.Obs != nil {
 			k := obs.KReturn
 			if in.Mark == MarkAltReturn {
@@ -594,6 +629,9 @@ func (m *Machine) Step() error {
 	case OpYield:
 		m.Stats.Cycles += m.Cost.Yield
 		m.Stats.Yields++
+		if m.Policy != nil {
+			m.Policy.OnYield(m.Regs[RSP])
+		}
 		if m.Obs != nil {
 			m.Obs.Emit(obs.Event{Kind: obs.KYield, Ts: m.Stats.Cycles, Instr: m.Stats.Instrs,
 				PC: int32(m.PC), SP: m.Regs[RSP], A: m.Regs[RA0]})

@@ -1,0 +1,579 @@
+package machine
+
+// Stack policies: pluggable shadow models of the activation-stack
+// representation.
+//
+// The simulated machine executes one canonical layout — a contiguous
+// descending stack addressed directly by compiled loads and stores — so
+// results, traps, retired counters, and observer event streams never
+// depend on the chosen policy. What a policy changes is the *accounting*:
+// each strategy replays the run's control transfers (calls, returns,
+// yields, cuts, unwinds) against its own representation and accrues the
+// representation-specific costs (frame-chunk overflow/underflow,
+// continuation capture and resume copies) into a separate StackStats
+// ledger, never into Stats.Cycles. That keeps the contiguous default
+// bit-identical to a machine with no policy attached while making the
+// capture-vs-resume-vs-memory trade-offs of the effect-handlers
+// literature quantitative per exception mechanism.
+//
+// Policies also answer the one capability question the machine itself
+// must enforce: whether a captured cut continuation may be resumed more
+// than once (multi-shot). Contiguous and segmented stacks destroy the
+// frames above the target on the first cut, so a second cut to the same
+// continuation has nothing to run on; copy-on-capture and hybrid keep a
+// snapshot and support re-resume. See ContMode for the machine-checked
+// contract.
+
+import "fmt"
+
+// StackKind names an activation-stack strategy.
+type StackKind int
+
+const (
+	// StackContig is today's layout: one contiguous descending stack.
+	// Frame push/pop is a register decrement; cut-to swings sp in O(1).
+	StackContig StackKind = iota
+	// StackSeg links fixed-size chunks: push past a chunk edge pays an
+	// overflow link, pop back pays an underflow; cut-to releases chunks.
+	StackSeg
+	// StackCopy snapshots the frames above a cut target the first time
+	// the continuation is taken; every later resume restores the copy,
+	// so continuations are multi-shot.
+	StackCopy
+	// StackHybrid keeps the region older than the newest handler frame
+	// segmented and the region younger contiguous: normal push/pop is
+	// free, installing a deeper handler seals the young region into
+	// chunks, and multi-shot resume copies only the young region.
+	StackHybrid
+)
+
+// String returns the CLI spelling of the kind.
+func (k StackKind) String() string {
+	switch k {
+	case StackContig:
+		return "contig"
+	case StackSeg:
+		return "seg"
+	case StackCopy:
+		return "copy"
+	case StackHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("StackKind(%d)", int(k))
+}
+
+// StackCosts prices the representation-specific operations, in simulated
+// cycles. These extend the machine cost model (Costs) the same way: the
+// numbers are small-integer stand-ins chosen so relative magnitudes are
+// plausible, not measurements of any host.
+type StackCosts struct {
+	CutBase        int64 // swing sp / redirect to a captured stack
+	CaptureBase    int64 // allocate + bookkeep one continuation snapshot
+	CapturePerWord int64 // copy one 8-byte word into the snapshot
+	ResumeBase     int64 // reinstate a snapshot (bookkeeping)
+	ResumePerWord  int64 // copy one 8-byte word back out of the snapshot
+	Overflow       int64 // link and switch to a fresh stack chunk
+	Underflow      int64 // unlink a chunk and return to its parent
+}
+
+// DefaultStackCosts is the default pricing, used when StackConfig.Costs
+// is zero.
+var DefaultStackCosts = StackCosts{
+	CutBase:        4,
+	CaptureBase:    20,
+	CapturePerWord: 2,
+	ResumeBase:     12,
+	ResumePerWord:  2,
+	Overflow:       24,
+	Underflow:      10,
+}
+
+// DefaultSegSize is the chunk size, in bytes, for the segmented and
+// hybrid policies when StackConfig.SegSize is zero.
+const DefaultSegSize = 1024
+
+// StackStats is a policy's ledger. PolicyCycles is the simulated-cycle
+// cost the representation's own bookkeeping would add on top of the
+// machine's Stats.Cycles (which it never touches).
+type StackStats struct {
+	PolicyCycles int64 // total representation overhead, simulated cycles
+	Cuts         int64 // cut-to transfers seen (in-code and run-time)
+	Captures     int64 // continuation snapshots taken (copy, hybrid)
+	Resumes      int64 // re-resumes restoring a snapshot (copy, hybrid)
+	CaptureWords int64 // total words copied into snapshots
+	Overflows    int64 // chunk links paid (seg, hybrid)
+	Underflows   int64 // chunk unlinks paid (seg, hybrid)
+	SegmentsPeak int64 // most chunks live at once (seg, hybrid)
+}
+
+// StackConfig parameterises NewStackPolicy. StackTop is the initial sp
+// (the base of the descending stack); zero fields take defaults.
+type StackConfig struct {
+	StackTop uint64
+	SegSize  uint64
+	Costs    StackCosts
+}
+
+// StackPolicy is the pluggable strategy interface. Engines drive it from
+// their control-transfer hooks; every hook receives the live sp so the
+// policy can track depth without touching memory. Hooks are nil-guarded
+// exactly like the observer: a machine with no policy pays nothing.
+//
+// Hook granularity: sp is sampled at control transfers (a frame's
+// allocation inside a callee's prologue is first observed at that
+// callee's own next transfer), which is exact for chunk accounting at
+// frame boundaries and is the documented resolution of the model.
+type StackPolicy interface {
+	Kind() StackKind
+	Name() string
+	// SupportsMultiShot reports whether a captured continuation survives
+	// its first resume (see ContMode).
+	SupportsMultiShot() bool
+	// BeginRun resets position state (not the ledger) for a fresh run
+	// entered with the given sp.
+	BeginRun(sp uint64)
+	OnCall(sp uint64)
+	OnReturn(sp uint64)
+	OnYield(sp uint64)
+	// OnCut fires on every cut-to transfer — the marked in-code jump and
+	// the run-time system's Resume — with the continuation's pc index
+	// and target sp.
+	OnCut(pc int, sp uint64)
+	// OnUnwind fires when the run-time system reinstates an activation
+	// by stack walking (the unwind mechanism's frame-by-frame twin of a
+	// cut).
+	OnUnwind(sp uint64)
+	Stats() StackStats
+	// CaptureSizes returns one sample per snapshot taken: its size in
+	// words. Feed to the obs capture-size histogram.
+	CaptureSizes() []int64
+	// SegmentCounts returns one sample per yield/cut: the chunks live at
+	// that moment. Feed to the obs segment-count histogram.
+	SegmentCounts() []int64
+	// ResetStats clears the ledger and the histogram samples.
+	ResetStats()
+}
+
+// NewStackPolicy builds a policy of the given kind. Zero cfg fields take
+// defaults (DefaultSegSize, DefaultStackCosts).
+func NewStackPolicy(kind StackKind, cfg StackConfig) StackPolicy {
+	if cfg.SegSize == 0 {
+		cfg.SegSize = DefaultSegSize
+	}
+	if cfg.Costs == (StackCosts{}) {
+		cfg.Costs = DefaultStackCosts
+	}
+	switch kind {
+	case StackSeg:
+		return &segPolicy{cfg: cfg}
+	case StackCopy:
+		return &copyPolicy{cfg: cfg}
+	case StackHybrid:
+		return &hybridPolicy{cfg: cfg}
+	default:
+		return &contigPolicy{cfg: cfg}
+	}
+}
+
+// StackPolicyByName parses a CLI spelling ("contig", "seg", "copy",
+// "hybrid") into a kind.
+func StackPolicyByName(name string) (StackKind, error) {
+	switch name {
+	case "contig":
+		return StackContig, nil
+	case "seg":
+		return StackSeg, nil
+	case "copy":
+		return StackCopy, nil
+	case "hybrid":
+		return StackHybrid, nil
+	}
+	return 0, fmt.Errorf("unknown stack policy %q (valid policies: contig, seg, copy, hybrid)", name)
+}
+
+// contKey identifies a cut continuation: the pair the compiled cut
+// sequence loads from the continuation value.
+type contKey struct {
+	pc int
+	sp uint64
+}
+
+// words is the size of the stack region [sp, top) in 8-byte words.
+func stackWords(top, sp uint64) int64 {
+	if sp >= top {
+		return 0
+	}
+	return int64(top-sp) / 8
+}
+
+// ---------------------------------------------------------------------
+// contig: the baseline. Pushes, pops, and cuts are register arithmetic;
+// the only representation cost is the O(1) sp swing on a cut. One-shot:
+// cutting discards everything above the target in place.
+
+type contigPolicy struct {
+	cfg   StackConfig
+	stats StackStats
+}
+
+func (p *contigPolicy) Kind() StackKind         { return StackContig }
+func (p *contigPolicy) Name() string            { return "contig" }
+func (p *contigPolicy) SupportsMultiShot() bool { return false }
+func (p *contigPolicy) BeginRun(sp uint64)      {}
+func (p *contigPolicy) OnCall(sp uint64)        {}
+func (p *contigPolicy) OnReturn(sp uint64)      {}
+func (p *contigPolicy) OnYield(sp uint64)       {}
+func (p *contigPolicy) OnUnwind(sp uint64)      {}
+func (p *contigPolicy) OnCut(pc int, sp uint64) {
+	p.stats.Cuts++
+	p.stats.PolicyCycles += p.cfg.Costs.CutBase
+}
+func (p *contigPolicy) Stats() StackStats      { return p.stats }
+func (p *contigPolicy) CaptureSizes() []int64  { return nil }
+func (p *contigPolicy) SegmentCounts() []int64 { return nil }
+func (p *contigPolicy) ResetStats()            { p.stats = StackStats{} }
+
+// ---------------------------------------------------------------------
+// seg: fixed-size chunks linked on demand. Depth growth across a chunk
+// edge pays an overflow link; shrink pays an underflow unlink. A cut
+// releases every chunk above the target in one swing plus the unlinks.
+
+type segPolicy struct {
+	cfg      StackConfig
+	stats    StackStats
+	live     int64 // chunks currently linked
+	segSamps []int64
+}
+
+func (p *segPolicy) Kind() StackKind         { return StackSeg }
+func (p *segPolicy) Name() string            { return "seg" }
+func (p *segPolicy) SupportsMultiShot() bool { return false }
+
+// chunks is the number of chunks spanning [sp, top); at least one chunk
+// is always linked.
+func (p *segPolicy) chunks(sp uint64) int64 {
+	top, sz := p.cfg.StackTop, p.cfg.SegSize
+	if sp >= top {
+		return 1
+	}
+	return int64((top - sp + sz - 1) / sz)
+}
+
+func (p *segPolicy) move(sp uint64) {
+	n := p.chunks(sp)
+	switch {
+	case n > p.live:
+		p.stats.Overflows += n - p.live
+		p.stats.PolicyCycles += (n - p.live) * p.cfg.Costs.Overflow
+	case n < p.live:
+		p.stats.Underflows += p.live - n
+		p.stats.PolicyCycles += (p.live - n) * p.cfg.Costs.Underflow
+	}
+	p.live = n
+	if n > p.stats.SegmentsPeak {
+		p.stats.SegmentsPeak = n
+	}
+}
+
+func (p *segPolicy) BeginRun(sp uint64) {
+	p.live = p.chunks(sp)
+	if p.live > p.stats.SegmentsPeak {
+		p.stats.SegmentsPeak = p.live
+	}
+}
+func (p *segPolicy) OnCall(sp uint64)   { p.move(sp) }
+func (p *segPolicy) OnReturn(sp uint64) { p.move(sp) }
+func (p *segPolicy) OnUnwind(sp uint64) { p.move(sp) }
+func (p *segPolicy) OnYield(sp uint64) {
+	p.move(sp)
+	p.segSamps = append(p.segSamps, p.live)
+}
+func (p *segPolicy) OnCut(pc int, sp uint64) {
+	p.stats.Cuts++
+	p.stats.PolicyCycles += p.cfg.Costs.CutBase
+	p.move(sp)
+	p.segSamps = append(p.segSamps, p.live)
+}
+func (p *segPolicy) Stats() StackStats      { return p.stats }
+func (p *segPolicy) CaptureSizes() []int64  { return nil }
+func (p *segPolicy) SegmentCounts() []int64 { return p.segSamps }
+func (p *segPolicy) ResetStats() {
+	p.stats = StackStats{}
+	p.segSamps = nil
+}
+
+// ---------------------------------------------------------------------
+// copy: the stack stays contiguous, but the first cut to a continuation
+// snapshots every word between the target sp and the stack base so the
+// continuation survives; each later cut restores the snapshot. Normal
+// push/pop is free and continuations are multi-shot — the classic
+// capture-heavy, resume-heavy point in the design space.
+
+type copyPolicy struct {
+	cfg      StackConfig
+	stats    StackStats
+	captured map[contKey]int64 // snapshot size in words, per continuation
+	capSamps []int64
+}
+
+func (p *copyPolicy) Kind() StackKind         { return StackCopy }
+func (p *copyPolicy) Name() string            { return "copy" }
+func (p *copyPolicy) SupportsMultiShot() bool { return true }
+func (p *copyPolicy) BeginRun(sp uint64) {
+	// Continuation identity is per run.
+	p.captured = nil
+}
+func (p *copyPolicy) OnCall(sp uint64)   {}
+func (p *copyPolicy) OnReturn(sp uint64) {}
+func (p *copyPolicy) OnYield(sp uint64)  {}
+func (p *copyPolicy) OnUnwind(sp uint64) {}
+func (p *copyPolicy) OnCut(pc int, sp uint64) {
+	p.stats.Cuts++
+	k := contKey{pc, sp}
+	c := &p.cfg.Costs
+	if words, seen := p.captured[k]; seen {
+		p.stats.Resumes++
+		p.stats.PolicyCycles += c.CutBase + c.ResumeBase + words*c.ResumePerWord
+		return
+	}
+	words := stackWords(p.cfg.StackTop, sp)
+	if p.captured == nil {
+		p.captured = map[contKey]int64{}
+	}
+	p.captured[k] = words
+	p.stats.Captures++
+	p.stats.CaptureWords += words
+	p.stats.PolicyCycles += c.CutBase + c.CaptureBase + words*c.CapturePerWord
+	p.capSamps = append(p.capSamps, words)
+}
+func (p *copyPolicy) Stats() StackStats      { return p.stats }
+func (p *copyPolicy) CaptureSizes() []int64  { return p.capSamps }
+func (p *copyPolicy) SegmentCounts() []int64 { return nil }
+func (p *copyPolicy) ResetStats() {
+	p.stats = StackStats{}
+	p.capSamps = nil
+}
+
+// ---------------------------------------------------------------------
+// hybrid: segmented below the newest handler frame, contiguous above.
+// The handler watermark H starts at the stack base; push/pop in the
+// young region [sp, H) is plain contiguous and free. A yield or cut
+// whose target is deeper than H installs a handler there: the young
+// region is sealed into chunks (overflow links). Ascending past H
+// (return or unwind) releases chunks. A continuation snapshot copies
+// only the young region — the sealed chunks are shared by reference —
+// so hybrid buys multi-shot at a fraction of copy's per-word bill.
+
+type hybridPolicy struct {
+	cfg      StackConfig
+	stats    StackStats
+	handler  uint64 // newest handler frame sp (watermark H)
+	live     int64  // chunks sealed in [handler, top)
+	captured map[contKey]int64
+	capSamps []int64
+	segSamps []int64
+}
+
+func (p *hybridPolicy) Kind() StackKind         { return StackHybrid }
+func (p *hybridPolicy) Name() string            { return "hybrid" }
+func (p *hybridPolicy) SupportsMultiShot() bool { return true }
+
+func (p *hybridPolicy) chunks(sp uint64) int64 {
+	top, sz := p.cfg.StackTop, p.cfg.SegSize
+	if sp >= top {
+		return 0
+	}
+	return int64((top - sp + sz - 1) / sz)
+}
+
+// seal moves the watermark down to sp, linking chunks for the formerly
+// contiguous young region; release moves it up, unlinking.
+func (p *hybridPolicy) rewater(sp uint64) {
+	n := p.chunks(sp)
+	switch {
+	case n > p.live:
+		p.stats.Overflows += n - p.live
+		p.stats.PolicyCycles += (n - p.live) * p.cfg.Costs.Overflow
+	case n < p.live:
+		p.stats.Underflows += p.live - n
+		p.stats.PolicyCycles += (p.live - n) * p.cfg.Costs.Underflow
+	}
+	p.live = n
+	p.handler = sp
+	if n > p.stats.SegmentsPeak {
+		p.stats.SegmentsPeak = n
+	}
+}
+
+func (p *hybridPolicy) BeginRun(sp uint64) {
+	p.handler = sp
+	p.live = 0
+	p.captured = nil
+}
+
+// Ascending past the watermark means the handler frame was popped:
+// release its chunks. Descending is free — that is the contiguous young
+// region growing.
+func (p *hybridPolicy) ascend(sp uint64) {
+	if sp > p.handler {
+		p.rewater(sp)
+	}
+}
+func (p *hybridPolicy) OnCall(sp uint64)   { p.ascend(sp) }
+func (p *hybridPolicy) OnReturn(sp uint64) { p.ascend(sp) }
+func (p *hybridPolicy) OnUnwind(sp uint64) { p.ascend(sp) }
+func (p *hybridPolicy) OnYield(sp uint64) {
+	// A yield suspends to the run-time system: the suspension point
+	// becomes the newest handler frame, sealing the young region.
+	p.rewater(sp)
+	p.segSamps = append(p.segSamps, p.live)
+}
+func (p *hybridPolicy) OnCut(pc int, sp uint64) {
+	p.stats.Cuts++
+	k := contKey{pc, sp}
+	c := &p.cfg.Costs
+	if words, seen := p.captured[k]; seen {
+		p.stats.Resumes++
+		p.stats.PolicyCycles += c.CutBase + c.ResumeBase + words*c.ResumePerWord
+	} else {
+		// Snapshot the young region only: [sp, H) when the target is
+		// above the watermark, nothing when it is the watermark itself
+		// or deeper (the sealed chunks are shared by reference).
+		var words int64
+		if sp < p.handler {
+			words = stackWords(p.handler, sp)
+		}
+		if p.captured == nil {
+			p.captured = map[contKey]int64{}
+		}
+		p.captured[k] = words
+		p.stats.Captures++
+		p.stats.CaptureWords += words
+		p.stats.PolicyCycles += c.CutBase + c.CaptureBase + words*c.CapturePerWord
+		p.capSamps = append(p.capSamps, words)
+	}
+	// The continuation's frame is a handler frame: the watermark moves
+	// to the target (sealing when deeper, releasing when shallower).
+	p.rewater(sp)
+	p.segSamps = append(p.segSamps, p.live)
+}
+func (p *hybridPolicy) Stats() StackStats      { return p.stats }
+func (p *hybridPolicy) CaptureSizes() []int64  { return p.capSamps }
+func (p *hybridPolicy) SegmentCounts() []int64 { return p.segSamps }
+func (p *hybridPolicy) ResetStats() {
+	p.stats = StackStats{}
+	p.capSamps = nil
+	p.segSamps = nil
+}
+
+// ---------------------------------------------------------------------
+// One-shot vs multi-shot checking.
+
+// ContMode selects the machine-checked reuse contract on cut
+// continuations. The default, ContUnchecked, is today's behaviour: reuse
+// is never policed, so results and traps are identical across policies.
+type ContMode int
+
+const (
+	// ContUnchecked performs no reuse checking (the default).
+	ContUnchecked ContMode = iota
+	// ContOneShot traps deterministically on the second cut to the same
+	// continuation, whatever the policy.
+	ContOneShot
+	// ContMultiShot permits re-cuts, but only when the attached policy
+	// keeps a snapshot to re-resume (SupportsMultiShot); under a
+	// one-shot representation the second cut traps deterministically.
+	ContMultiShot
+)
+
+// ContModeByName parses a CLI spelling ("oneshot", "multishot").
+func ContModeByName(name string) (ContMode, error) {
+	switch name {
+	case "", "unchecked":
+		return ContUnchecked, nil
+	case "oneshot":
+		return ContOneShot, nil
+	case "multishot":
+		return ContMultiShot, nil
+	}
+	return 0, fmt.Errorf("unknown continuation mode %q (valid modes: unchecked, oneshot, multishot)", name)
+}
+
+// cutViolation applies the ContMode contract to a cut landing at
+// (pc, sp) and returns the trap message when the cut must not proceed.
+// Every engine calls it after charging the transfer (so counters agree
+// with the other deterministic trap edges) and before emitting KCutTo.
+func (m *Machine) cutViolation(pc int, sp uint64) string {
+	if m.ContMode == ContUnchecked {
+		return ""
+	}
+	k := contKey{pc, sp}
+	if m.contSeen[k] {
+		if m.ContMode == ContOneShot {
+			return fmt.Sprintf("one-shot continuation (target pc=%d sp=%#x) cut to twice", pc, sp)
+		}
+		if m.Policy == nil || !m.Policy.SupportsMultiShot() {
+			name := "contig"
+			if m.Policy != nil {
+				name = m.Policy.Name()
+			}
+			return fmt.Sprintf("multi-shot cut to continuation (target pc=%d sp=%#x) under one-shot stack policy %s", pc, sp, name)
+		}
+		return ""
+	}
+	if m.contSeen == nil {
+		m.contSeen = map[contKey]bool{}
+	}
+	m.contSeen[k] = true
+	return ""
+}
+
+// NoteCut is the run-time system's twin of the marked in-code cut: it
+// applies the ContMode contract and the policy's OnCut hook for a cut to
+// (pc, sp), returning the deterministic trap on a reuse violation.
+func (m *Machine) NoteCut(pc int, sp uint64) error {
+	if msg := m.cutViolation(pc, sp); msg != "" {
+		return &TrapError{PC: pc, Msg: msg}
+	}
+	if m.Policy != nil {
+		m.Policy.OnCut(pc, sp)
+	}
+	return nil
+}
+
+// NoteUnwind drives the policy's OnUnwind hook when the run-time system
+// reinstates an activation by stack walking.
+func (m *Machine) NoteUnwind(sp uint64) {
+	if m.Policy != nil {
+		m.Policy.OnUnwind(sp)
+	}
+}
+
+// beginPolicyRun resets per-run policy and continuation-identity state
+// at every engine's entry point. Ledgers persist (ResetStats clears
+// them); position state and the seen-continuation set do not.
+func (m *Machine) beginPolicyRun() {
+	if len(m.contSeen) > 0 {
+		clear(m.contSeen)
+	}
+	if m.Policy != nil {
+		m.Policy.BeginRun(m.Regs[RSP])
+	}
+}
+
+// StackStats returns the attached policy's ledger (zero when none).
+func (m *Machine) StackStats() StackStats {
+	if m.Policy == nil {
+		return StackStats{}
+	}
+	return m.Policy.Stats()
+}
+
+// StackPolicyName names the attached policy; a machine with none runs
+// the contiguous layout.
+func (m *Machine) StackPolicyName() string {
+	if m.Policy == nil {
+		return "contig"
+	}
+	return m.Policy.Name()
+}

@@ -1,0 +1,289 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Unit tests for the stack-policy shadow models: each strategy's ledger
+// arithmetic is checked against hand-computed hook sequences, and the
+// ContMode reuse contract is exercised directly through NoteCut. The
+// end-to-end passivity contract (results, traps, counters, and event
+// streams identical under every policy) lives in the root-level
+// stack_policy_test.go sweep.
+
+const testTop = 8192 // stack base for the hand-computed sequences
+
+func newPolicy(k StackKind) StackPolicy {
+	return NewStackPolicy(k, StackConfig{StackTop: testTop, SegSize: 1024})
+}
+
+func TestStackPolicyByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind StackKind
+	}{{"contig", StackContig}, {"seg", StackSeg}, {"copy", StackCopy}, {"hybrid", StackHybrid}} {
+		k, err := StackPolicyByName(tc.name)
+		if err != nil || k != tc.kind {
+			t.Errorf("StackPolicyByName(%q) = %v, %v; want %v", tc.name, k, err, tc.kind)
+		}
+		if got := k.String(); got != tc.name {
+			t.Errorf("%v.String() = %q, want %q", tc.kind, got, tc.name)
+		}
+		if p := NewStackPolicy(tc.kind, StackConfig{}); p.Kind() != tc.kind || p.Name() != tc.name {
+			t.Errorf("NewStackPolicy(%v): Kind %v Name %q", tc.kind, p.Kind(), p.Name())
+		}
+	}
+	if _, err := StackPolicyByName("linked"); err == nil ||
+		!strings.Contains(err.Error(), "contig, seg, copy, hybrid") {
+		t.Errorf("StackPolicyByName(linked) error %v should list the valid policies", err)
+	}
+}
+
+func TestContModeByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode ContMode
+	}{{"", ContUnchecked}, {"unchecked", ContUnchecked}, {"oneshot", ContOneShot}, {"multishot", ContMultiShot}} {
+		m, err := ContModeByName(tc.name)
+		if err != nil || m != tc.mode {
+			t.Errorf("ContModeByName(%q) = %v, %v; want %v", tc.name, m, err, tc.mode)
+		}
+	}
+	if _, err := ContModeByName("twice"); err == nil ||
+		!strings.Contains(err.Error(), "unchecked, oneshot, multishot") {
+		t.Errorf("ContModeByName(twice) error %v should list the valid modes", err)
+	}
+}
+
+// The contiguous baseline bills nothing but the O(1) sp swing per cut:
+// calls, returns, yields, and unwinds are register arithmetic.
+func TestContigLedger(t *testing.T) {
+	p := newPolicy(StackContig)
+	p.BeginRun(testTop)
+	p.OnCall(testTop - 512)
+	p.OnReturn(testTop)
+	p.OnYield(testTop - 64)
+	p.OnUnwind(testTop)
+	if s := p.Stats(); s != (StackStats{}) {
+		t.Errorf("contig billed non-cut transfers: %+v", s)
+	}
+	p.OnCut(3, testTop-128)
+	p.OnCut(3, testTop-128)
+	want := StackStats{Cuts: 2, PolicyCycles: 2 * DefaultStackCosts.CutBase}
+	if s := p.Stats(); s != want {
+		t.Errorf("contig after two cuts: %+v, want %+v", s, want)
+	}
+	if p.SupportsMultiShot() {
+		t.Error("contig must be one-shot: a cut discards the frames above the target in place")
+	}
+}
+
+// Segmented chunk math: descending across a 1 KiB chunk edge links a
+// chunk (overflow), ascending back unlinks it (underflow), and the peak
+// tracks the deepest link count.
+func TestSegChunkAccounting(t *testing.T) {
+	p := newPolicy(StackSeg)
+	p.BeginRun(testTop)
+	p.OnCall(testTop - 1024) // exactly one chunk: no link yet
+	if s := p.Stats(); s.Overflows != 0 {
+		t.Fatalf("descent within the first chunk paid a link: %+v", s)
+	}
+	p.OnCall(testTop - 1025) // crosses into chunk 2
+	p.OnCall(testTop - 3000) // chunk 3
+	p.OnReturn(testTop)      // back to one chunk
+	c := DefaultStackCosts
+	want := StackStats{
+		Overflows: 2, Underflows: 2, SegmentsPeak: 3,
+		PolicyCycles: 2*c.Overflow + 2*c.Underflow,
+	}
+	if s := p.Stats(); s != want {
+		t.Errorf("seg ledger: %+v, want %+v", s, want)
+	}
+	// A cut releases every chunk above the target in one swing: cut base
+	// plus the unlinks.
+	p.OnCall(testTop - 3000)
+	p.OnCut(7, testTop-100)
+	s := p.Stats()
+	if s.Cuts != 1 || s.Underflows != 4 {
+		t.Errorf("seg cut should unlink the released chunks: %+v", s)
+	}
+	if n := len(p.SegmentCounts()); n != 1 {
+		t.Errorf("seg should sample live chunks at each cut: %d samples", n)
+	}
+	p.ResetStats()
+	if s := p.Stats(); s != (StackStats{}) || p.SegmentCounts() != nil {
+		t.Errorf("ResetStats left state: %+v, %v", s, p.SegmentCounts())
+	}
+}
+
+// Copy-on-capture: the first cut to a continuation snapshots [sp, top)
+// at CaptureBase + words*CapturePerWord; every later cut to the SAME
+// (pc, sp) is a resume at ResumeBase + words*ResumePerWord. A different
+// continuation gets its own snapshot.
+func TestCopyCaptureResume(t *testing.T) {
+	p := newPolicy(StackCopy)
+	p.BeginRun(testTop)
+	p.OnCall(testTop - 80) // push/pop is free under copy
+	if s := p.Stats(); s != (StackStats{}) {
+		t.Fatalf("copy billed a call: %+v", s)
+	}
+	c := DefaultStackCosts
+	p.OnCut(5, testTop-80) // capture: 10 words
+	want := StackStats{
+		Cuts: 1, Captures: 1, CaptureWords: 10,
+		PolicyCycles: c.CutBase + c.CaptureBase + 10*c.CapturePerWord,
+	}
+	if s := p.Stats(); s != want {
+		t.Errorf("first cut: %+v, want %+v", s, want)
+	}
+	p.OnCut(5, testTop-80) // re-cut: resume the snapshot
+	want.Cuts, want.Resumes = 2, 1
+	want.PolicyCycles += c.CutBase + c.ResumeBase + 10*c.ResumePerWord
+	if s := p.Stats(); s != want {
+		t.Errorf("re-cut: %+v, want %+v", s, want)
+	}
+	p.OnCut(5, testTop-160) // distinct continuation: fresh 20-word capture
+	want.Cuts, want.Captures, want.CaptureWords = 3, 2, 30
+	want.PolicyCycles += c.CutBase + c.CaptureBase + 20*c.CapturePerWord
+	if s := p.Stats(); s != want {
+		t.Errorf("second continuation: %+v, want %+v", s, want)
+	}
+	if sz := p.CaptureSizes(); len(sz) != 2 || sz[0] != 10 || sz[1] != 20 {
+		t.Errorf("capture-size samples = %v, want [10 20]", sz)
+	}
+	if !p.SupportsMultiShot() {
+		t.Error("copy keeps snapshots: must be multi-shot")
+	}
+	// BeginRun resets continuation identity but not the ledger.
+	p.BeginRun(testTop)
+	p.OnCut(5, testTop-80)
+	if s := p.Stats(); s.Captures != 3 {
+		t.Errorf("a fresh run must re-capture (identity is per run): %+v", s)
+	}
+}
+
+// Hybrid watermark: push/pop in the young region is free; a yield seals
+// the young region into chunks; a capture copies only the young region
+// (zero words when the target IS the watermark); ascending past the
+// watermark releases chunks.
+func TestHybridWatermark(t *testing.T) {
+	p := newPolicy(StackHybrid)
+	p.BeginRun(testTop)
+	p.OnCall(6000) // young-region growth: free
+	if s := p.Stats(); s != (StackStats{}) {
+		t.Fatalf("hybrid billed young-region growth: %+v", s)
+	}
+	c := DefaultStackCosts
+	p.OnYield(6000) // seal [6000, 8192): ceil(2192/1024) = 3 chunks
+	want := StackStats{Overflows: 3, SegmentsPeak: 3, PolicyCycles: 3 * c.Overflow}
+	if s := p.Stats(); s != want {
+		t.Errorf("yield seal: %+v, want %+v", s, want)
+	}
+	p.OnCut(9, 6000) // cut to the watermark itself: zero-word capture
+	want.Cuts, want.Captures = 1, 1
+	want.PolicyCycles += c.CutBase + c.CaptureBase
+	if s := p.Stats(); s != want {
+		t.Errorf("watermark cut: %+v, want %+v", s, want)
+	}
+	p.OnCall(5800)    // young again below the new watermark: free
+	p.OnCut(11, 5800) // capture copies only the young region: 25 words
+	want.Cuts, want.Captures, want.CaptureWords = 2, 2, 25
+	want.PolicyCycles += c.CutBase + c.CaptureBase + 25*c.CapturePerWord
+	// The watermark moves to 5800, sealing the 200 bytes into the
+	// existing chunk span: chunks(5800) = ceil(2392/1024) = 3, unchanged.
+	if s := p.Stats(); s != want {
+		t.Errorf("young capture: %+v, want %+v", s, want)
+	}
+	p.OnCut(11, 5800) // re-cut resumes the 25-word snapshot
+	want.Cuts, want.Resumes = 3, 1
+	want.PolicyCycles += c.CutBase + c.ResumeBase + 25*c.ResumePerWord
+	if s := p.Stats(); s != want {
+		t.Errorf("re-cut: %+v, want %+v", s, want)
+	}
+	p.OnReturn(testTop) // pop past the watermark: release all 3 chunks
+	want.Underflows = 3
+	want.PolicyCycles += 3 * c.Underflow
+	if s := p.Stats(); s != want {
+		t.Errorf("release: %+v, want %+v", s, want)
+	}
+	if sz := p.CaptureSizes(); len(sz) != 2 || sz[0] != 0 || sz[1] != 25 {
+		t.Errorf("capture-size samples = %v, want [0 25]", sz)
+	}
+	if !p.SupportsMultiShot() {
+		t.Error("hybrid keeps young-region snapshots: must be multi-shot")
+	}
+}
+
+// NoteCut enforces the ContMode contract: one-shot traps on any re-cut;
+// multi-shot traps only when the attached policy cannot re-resume.
+func TestNoteCutContract(t *testing.T) {
+	// Unchecked: reuse is never policed.
+	m := New(1 << 16)
+	if err := m.NoteCut(10, 0x100); err != nil {
+		t.Fatalf("unchecked first cut: %v", err)
+	}
+	if err := m.NoteCut(10, 0x100); err != nil {
+		t.Fatalf("unchecked re-cut: %v", err)
+	}
+
+	// One-shot: the second cut to the same (pc, sp) traps, whatever the
+	// policy; a different continuation does not.
+	m = New(1 << 16)
+	m.ContMode = ContOneShot
+	if err := m.NoteCut(10, 0x100); err != nil {
+		t.Fatalf("oneshot first cut: %v", err)
+	}
+	if err := m.NoteCut(12, 0x200); err != nil {
+		t.Fatalf("oneshot distinct continuation: %v", err)
+	}
+	err := m.NoteCut(10, 0x100)
+	var trap *TrapError
+	if !errors.As(err, &trap) || !strings.Contains(trap.Msg, "one-shot continuation (target pc=10 sp=0x100) cut to twice") {
+		t.Fatalf("oneshot re-cut = %v, want the one-shot trap", err)
+	}
+
+	// Multi-shot under one-shot representations traps and names the
+	// policy; under snapshot-keeping policies it proceeds and the ledger
+	// records the resume.
+	for _, k := range []StackKind{StackContig, StackSeg} {
+		m = New(1 << 16)
+		m.ContMode = ContMultiShot
+		m.Policy = newPolicy(k)
+		if err := m.NoteCut(10, 0x100); err != nil {
+			t.Fatalf("%v multishot first cut: %v", k, err)
+		}
+		err := m.NoteCut(10, 0x100)
+		if !errors.As(err, &trap) ||
+			!strings.Contains(trap.Msg, "under one-shot stack policy "+k.String()) {
+			t.Errorf("%v multishot re-cut = %v, want a policy-naming trap", k, err)
+		}
+	}
+	for _, k := range []StackKind{StackCopy, StackHybrid} {
+		m = New(1 << 16)
+		m.ContMode = ContMultiShot
+		m.Policy = newPolicy(k)
+		if err := m.NoteCut(10, 0x100); err != nil {
+			t.Fatalf("%v multishot first cut: %v", k, err)
+		}
+		if err := m.NoteCut(10, 0x100); err != nil {
+			t.Errorf("%v multishot re-cut: %v, want success", k, err)
+		}
+		if s := m.StackStats(); s.Resumes != 1 {
+			t.Errorf("%v ledger after re-cut: %+v, want Resumes=1", k, s)
+		}
+	}
+}
+
+// A machine with no policy attached answers the facade queries with the
+// contiguous defaults.
+func TestNoPolicyDefaults(t *testing.T) {
+	m := New(1 << 16)
+	if got := m.StackPolicyName(); got != "contig" {
+		t.Errorf("StackPolicyName with no policy = %q, want contig", got)
+	}
+	if s := m.StackStats(); s != (StackStats{}) {
+		t.Errorf("StackStats with no policy = %+v, want zero", s)
+	}
+}

@@ -66,6 +66,14 @@ type Metrics struct {
 	// across engines.
 	EngineName string           `json:"engine_name,omitempty"`
 	Engine     map[string]int64 `json:"engine,omitempty"`
+	// StackName and Stack carry the activation-stack policy ledger
+	// (cut/capture/resume counts and the policy's simulated-cycle
+	// overhead). Both are omitted unless RecordStackPolicy was called,
+	// for the same reason the engine section is opt-in: the counters
+	// above are representation-independent and default exports stay
+	// byte-identical across policies.
+	StackName string           `json:"stack_policy,omitempty"`
+	Stack     map[string]int64 `json:"stack,omitempty"`
 	// DroppedEvents counts trace events past the buffer bound; counters
 	// above include them, histograms (built from the trace) do not.
 	DroppedEvents int64 `json:"dropped_events,omitempty"`
@@ -151,6 +159,32 @@ func (o *Observer) Metrics() *Metrics {
 			"deopt_observer":   t.DeoptObserver,
 			"chain_dispatches": t.ChainDispatches,
 			"fusion_hits":      t.FusionHits,
+		}
+		// Only a non-contiguous stack policy can force kernel stand-
+		// downs; the key appears only when one did, keeping pre-policy
+		// telemetry goldens byte-identical.
+		if t.DeoptPolicy != 0 {
+			m.Engine["deopt_stack_policy"] = t.DeoptPolicy
+		}
+	}
+	if o.haveSPS {
+		s := o.sps
+		m.StackName = s.Policy
+		m.Stack = map[string]int64{
+			"policy_cycles": s.PolicyCycles,
+			"cuts":          s.Cuts,
+			"captures":      s.Captures,
+			"resumes":       s.Resumes,
+			"capture_words": s.CaptureWords,
+			"overflows":     s.Overflows,
+			"underflows":    s.Underflows,
+			"segments_peak": s.SegmentsPeak,
+		}
+		if len(s.CaptureSizes) > 0 {
+			h["capture_words"] = snapshotHistogram(s.CaptureSizes)
+		}
+		if len(s.SegmentCounts) > 0 {
+			h["segments"] = snapshotHistogram(s.SegmentCounts)
 		}
 	}
 	return m

@@ -1,9 +1,10 @@
 // Package obs is the observability layer for the C-- reproduction: a
 // structured event tracer, a metrics registry, and a simulated-cycle
-// profiler, shared by both execution engines (the Step loop and the
-// threaded-code engine of internal/machine), the VM's Table 1 run-time
-// interface (internal/vm), the abstract machine (internal/sem), and the
-// exception dispatchers (internal/dispatch).
+// profiler, shared by all three execution engines of internal/machine
+// (the reference stepper, the threaded-code engine, and the native
+// tier), the VM's Table 1 run-time interface (internal/vm), the
+// abstract machine (internal/sem), and the exception dispatchers
+// (internal/dispatch).
 //
 // The package is a leaf: it imports nothing from the rest of the module,
 // so every layer can emit into it without import cycles. Producers hold
@@ -12,8 +13,8 @@
 // that already leave the hot loop (calls, returns, yields, cuts,
 // run-time walks). Observers are strictly passive — they never touch the
 // machine's simulated counters — so enabling one changes neither cycle
-// counts nor results, and both engines emit identical event streams for
-// the same program (asserted by the parity suite).
+// counts nor results, and every engine emits the identical event stream
+// for the same program (asserted by the parity suite).
 //
 // Timestamps are simulated cycles (the machine cost model), not host
 // time, so traces are deterministic and comparable across engines. The
@@ -133,6 +134,7 @@ const (
 	DeoptTrap      = 2 // stopped at a memory bound so a potential trap runs on the chains
 	DeoptBudget    = 3 // stopped at the instruction-budget edge
 	DeoptObserver  = 4 // kernel refused to run: an observer needs the cycle's events
+	DeoptPolicy    = 5 // kernel refused to run: a non-contiguous stack policy needs the cycle's hooks
 )
 
 // DeoptName names a deopt reason.
@@ -146,6 +148,8 @@ func DeoptName(r uint64) string {
 		return "budget-edge"
 	case DeoptObserver:
 		return "observer"
+	case DeoptPolicy:
+		return "stack-policy"
 	}
 	return fmt.Sprintf("deopt(%d)", r)
 }
@@ -201,6 +205,8 @@ type Observer struct {
 	haveMC      bool
 	et          EngineTelemetry
 	haveET      bool
+	sps         StackPolicyStats
+	haveSPS     bool
 }
 
 // New returns an enabled observer with the default trace bound.
@@ -294,6 +300,7 @@ type EngineTelemetry struct {
 	DeoptTrap       int64
 	DeoptBudget     int64
 	DeoptObserver   int64
+	DeoptPolicy     int64
 	ChainDispatches int64
 	FusionHits      int64
 }
@@ -305,6 +312,37 @@ type EngineTelemetry struct {
 func (o *Observer) RecordEngineTelemetry(t EngineTelemetry) {
 	o.et = t
 	o.haveET = true
+}
+
+// StackPolicyStats mirrors the machine's activation-stack policy ledger
+// (machine.StackStats) plus its histogram samples, so exporters can
+// render the stack section without obs importing the machine. Like
+// EngineTelemetry it is representation-dependent: the same program
+// produces different stack stats under contig, seg, copy, and hybrid.
+type StackPolicyStats struct {
+	Policy       string // "contig", "seg", "copy", or "hybrid"
+	PolicyCycles int64
+	Cuts         int64
+	Captures     int64
+	Resumes      int64
+	CaptureWords int64
+	Overflows    int64
+	Underflows   int64
+	SegmentsPeak int64
+	// CaptureSizes holds one sample per continuation snapshot (words);
+	// SegmentCounts one sample per yield/cut (live chunks). They feed
+	// the capture_words and segments histograms in the metrics export.
+	CaptureSizes  []int64
+	SegmentCounts []int64
+}
+
+// RecordStackPolicy snapshots the stack-policy ledger into the observer.
+// It surfaces as the metrics export's "stack" section, present only
+// after this call — keeping the default metrics JSON policy-independent
+// (and byte-identical to pre-policy goldens).
+func (o *Observer) RecordStackPolicy(s StackPolicyStats) {
+	o.sps = s
+	o.haveSPS = true
 }
 
 // Span is one compile-pass interval on the observer's compile timeline,

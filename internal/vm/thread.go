@@ -46,7 +46,7 @@ func (t *Thread) charge(cycles int64) { t.inst.M.Stats.Cycles += cycles }
 
 // Observer returns the instance's observability sink, or nil. The
 // machine is fully flushed during a yield, so events emitted here are
-// identical under both engines.
+// identical under every engine.
 func (t *Thread) Observer() *obs.Observer { return t.inst.obs }
 
 // emit records a run-time-interface event stamped with the current
@@ -249,6 +249,12 @@ func (t *Thread) Resume() error {
 		if !ok {
 			return fmt.Errorf("SetCutToCont: %#x is not a continuation", t.cutK)
 		}
+		// The run-time cut shares the in-code cut's reuse contract and
+		// stack-policy hook; a one-shot/multi-shot violation traps here
+		// deterministically (the yield already flushed the counters).
+		if err := m.NoteCut(idx, sp); err != nil {
+			return err
+		}
 		for i, v := range t.params {
 			if i < machine.NumA {
 				m.Regs[machine.RA0+machine.Reg(i)] = v
@@ -322,6 +328,7 @@ func (t *Thread) Resume() error {
 	m.Regs[machine.RSP] = a.sp
 	m.PC = pc
 	t.resumed = true
+	m.NoteUnwind(a.sp)
 	switch {
 	case t.haveIdx && t.unwindIdx >= 0:
 		t.emit(obs.KResumeUnwind, int32(pc), a.sp, uint64(t.unwindIdx), 0)

@@ -46,19 +46,23 @@ type Instance struct {
 type Option func(*config)
 
 type config struct {
-	memSize int
-	engine  machine.Engine
-	rts     RuntimeSystem
-	foreign map[string]ForeignFunc
-	obs     *obs.Observer
+	memSize   int
+	engine    machine.Engine
+	rts       RuntimeSystem
+	foreign   map[string]ForeignFunc
+	obs       *obs.Observer
+	stackKind machine.StackKind
+	haveStack bool
+	contMode  machine.ContMode
 }
 
 // WithMemSize sets the simulated memory size.
 func WithMemSize(n int) Option { return func(c *config) { c.memSize = n } }
 
 // WithEngine selects the machine's execution loop (the fast threaded-
-// code engine by default; machine.EngineRef for the reference stepper).
-// Simulated counters are bit-identical under both.
+// code engine by default; machine.EngineRef for the reference stepper,
+// machine.EngineNative for the closure-chain tier). Simulated counters
+// are bit-identical under all of them.
 func WithEngine(e machine.Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithRuntime installs the front-end run-time system.
@@ -69,12 +73,29 @@ func WithForeign(name string, f ForeignFunc) Option {
 	return func(c *config) { c.foreign[name] = f }
 }
 
-// WithObserver attaches an observability sink: both engines emit
+// WithObserver attaches an observability sink: all engines emit
 // control-transfer events into it, and the run-time interface emits
 // walk, resume, and dispatch events. Attaching an observer changes no
 // simulated state — counters stay bit-identical (the parity suite
 // asserts this).
 func WithObserver(o *obs.Observer) Option { return func(c *config) { c.obs = o } }
+
+// WithStackPolicy attaches an activation-stack strategy's shadow model
+// (machine.StackContig/StackSeg/StackCopy/StackHybrid). Like observers,
+// policies are passive: results, traps, counters, and event streams are
+// bit-identical under every policy — only the policy's own StackStats
+// ledger differs. Without this option the machine runs the contiguous
+// layout with no ledger at all.
+func WithStackPolicy(k machine.StackKind) Option {
+	return func(c *config) { c.stackKind = k; c.haveStack = true }
+}
+
+// WithContMode selects the machine-checked one-shot/multi-shot reuse
+// contract on cut continuations (unchecked by default; see
+// machine.ContMode). Violations trap deterministically.
+func WithContMode(mode machine.ContMode) Option {
+	return func(c *config) { c.contMode = mode }
+}
 
 // NewInstance loads p onto a fresh machine.
 func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
@@ -124,6 +145,10 @@ func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 		}
 	}
 	inst.stackTop = uint64(c.memSize) - 64
+	if c.haveStack {
+		m.Policy = machine.NewStackPolicy(c.stackKind, machine.StackConfig{StackTop: inst.stackTop})
+	}
+	m.ContMode = c.contMode
 
 	// Foreign functions, in index order.
 	for i, name := range p.Foreigns {
@@ -211,11 +236,14 @@ func (inst *Instance) Run(proc string, args ...uint64) ([]uint64, error) {
 // Stats exposes the machine's counters.
 func (inst *Instance) Stats() machine.Counters { return inst.M.Stats }
 
-// ResetStats zeroes the counters and the engine telemetry (between
-// benchmark phases).
+// ResetStats zeroes the counters, the engine telemetry, and the stack-
+// policy ledger (between benchmark phases).
 func (inst *Instance) ResetStats() {
 	inst.M.Stats = machine.Counters{}
 	inst.M.Telem = machine.Telemetry{}
+	if inst.M.Policy != nil {
+		inst.M.Policy.ResetStats()
+	}
 }
 
 // Telemetry exposes the machine's engine-introspection counters (kernel
@@ -275,7 +303,41 @@ func (inst *Instance) RecordEngineTelemetry() {
 		DeoptTrap:       t.DeoptTrap,
 		DeoptBudget:     t.DeoptBudget,
 		DeoptObserver:   t.DeoptObserver,
+		DeoptPolicy:     t.DeoptPolicy,
 		ChainDispatches: t.ChainDispatches,
 		FusionHits:      t.FusionHits,
+	})
+}
+
+// StackStats exposes the attached stack policy's ledger (zero without
+// one — the contiguous layout has no bookkeeping to account).
+func (inst *Instance) StackStats() machine.StackStats { return inst.M.StackStats() }
+
+// StackPolicyName names the attached stack policy ("contig" when none).
+func (inst *Instance) StackPolicyName() string { return inst.M.StackPolicyName() }
+
+// RecordStackStats snapshots the stack-policy ledger and its histogram
+// samples into the attached observer: the metrics export grows a "stack"
+// section plus capture_words/segments histograms. Opt-in (a no-op
+// without both an observer and a policy) because the section is
+// representation-dependent while the rest of the export is not.
+func (inst *Instance) RecordStackStats() {
+	p := inst.M.Policy
+	if inst.obs == nil || p == nil {
+		return
+	}
+	s := p.Stats()
+	inst.obs.RecordStackPolicy(obs.StackPolicyStats{
+		Policy:        p.Name(),
+		PolicyCycles:  s.PolicyCycles,
+		Cuts:          s.Cuts,
+		Captures:      s.Captures,
+		Resumes:       s.Resumes,
+		CaptureWords:  s.CaptureWords,
+		Overflows:     s.Overflows,
+		Underflows:    s.Underflows,
+		SegmentsPeak:  s.SegmentsPeak,
+		CaptureSizes:  p.CaptureSizes(),
+		SegmentCounts: p.SegmentCounts(),
 	})
 }

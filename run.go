@@ -71,6 +71,61 @@ const (
 	EngineNative = machine.EngineNative
 )
 
+// StackPolicy selects the activation-stack strategy's shadow model for
+// Native machines. The machine always executes the canonical contiguous
+// layout — results, traps, retired counters, and observer event streams
+// are bit-identical under every policy — while the chosen strategy
+// replays the run's control transfers against its own representation and
+// accrues capture/resume/overflow costs into a separate StackStats
+// ledger. See STACKS.md for the catalogue.
+type StackPolicy = machine.StackKind
+
+const (
+	// StackContig is the default contiguous descending stack: O(1)
+	// push/pop/cut, one-shot continuations.
+	StackContig = machine.StackContig
+	// StackSeg links fixed-size chunks, paying overflow/underflow links
+	// at chunk edges; one-shot continuations.
+	StackSeg = machine.StackSeg
+	// StackCopy snapshots a continuation's frames at first cut and
+	// restores the copy on every re-cut; multi-shot.
+	StackCopy = machine.StackCopy
+	// StackHybrid keeps frames older than the newest handler frame
+	// segmented and younger frames contiguous; multi-shot with small
+	// captures.
+	StackHybrid = machine.StackHybrid
+)
+
+// ParseStackPolicy parses a CLI spelling ("contig", "seg", "copy",
+// "hybrid").
+func ParseStackPolicy(name string) (StackPolicy, error) {
+	return machine.StackPolicyByName(name)
+}
+
+// StackStats is a stack policy's ledger: the simulated-cycle overhead
+// its representation would add (PolicyCycles) plus cut/capture/resume/
+// overflow counts. It is kept apart from Stats so the cost model's
+// counters stay policy-independent.
+type StackStats = machine.StackStats
+
+// ContMode is the machine-checked reuse contract on cut continuations:
+// unchecked (default), one-shot (second cut to the same continuation
+// traps), or multi-shot (re-cuts allowed only under a policy that keeps
+// a snapshot to re-resume — StackCopy or StackHybrid).
+type ContMode = machine.ContMode
+
+const (
+	ContUnchecked = machine.ContUnchecked
+	ContOneShot   = machine.ContOneShot
+	ContMultiShot = machine.ContMultiShot
+)
+
+// ParseContMode parses a CLI spelling ("unchecked", "oneshot",
+// "multishot").
+func ParseContMode(name string) (ContMode, error) {
+	return machine.ContModeByName(name)
+}
+
 // Observer is a structured event and metrics sink for one execution:
 // control-transfer and run-time-interface events on the simulated-cycle
 // timeline, named counters and histograms, and a simulated-cycle
@@ -94,6 +149,9 @@ type RunConfig struct {
 	Dispatcher Dispatcher
 	Foreigns   map[string]Foreign
 	Observer   *Observer
+	Stack      StackPolicy
+	StackSet   bool // distinguishes explicit StackContig from no policy
+	Cont       ContMode
 }
 
 // RunOption configures Interp and Native.
@@ -115,6 +173,21 @@ func WithDispatcher(d Dispatcher) RunOption { return func(c *RunConfig) { c.Disp
 // dispatches, ...) stamped with simulated cycles, plus counters and
 // histograms; it changes nothing about the simulated execution itself.
 func WithObserver(o *Observer) RunOption { return func(c *RunConfig) { c.Observer = o } }
+
+// WithStackPolicy attaches an activation-stack strategy to Native
+// machines (Interp ignores the option). Policies are passive shadow
+// models: execution is bit-identical under every policy, and the
+// strategy's own costs accrue to Machine.StackStats.
+func WithStackPolicy(k StackPolicy) RunOption {
+	return func(c *RunConfig) { c.Stack = k; c.StackSet = true }
+}
+
+// WithContMode selects the one-shot/multi-shot reuse contract on cut
+// continuations for Native machines (unchecked by default; violations
+// trap deterministically).
+func WithContMode(mode ContMode) RunOption {
+	return func(c *RunConfig) { c.Cont = mode }
+}
 
 // WithForeign implements the imported procedure name in Go.
 func WithForeign(name string, f Foreign) RunOption {
@@ -261,6 +334,12 @@ func (m *Module) Native(cc CompileConfig, opts ...RunOption) (*Machine, error) {
 	if c.Observer != nil {
 		vopts = append(vopts, vm.WithObserver(c.Observer))
 	}
+	if c.StackSet {
+		vopts = append(vopts, vm.WithStackPolicy(c.Stack))
+	}
+	if c.Cont != ContUnchecked {
+		vopts = append(vopts, vm.WithContMode(c.Cont))
+	}
 	if c.Dispatcher != nil {
 		d := c.Dispatcher
 		vopts = append(vopts, vm.WithRuntime(vm.RuntimeFunc(
@@ -316,6 +395,20 @@ func (mc *Machine) EngineName() string { return mc.inst.EngineName() }
 // the metrics export. Opt-in — without this call the export stays
 // engine-independent. A no-op without an observer.
 func (mc *Machine) RecordEngineTelemetry() { mc.inst.RecordEngineTelemetry() }
+
+// StackStats reports the attached stack policy's ledger (zero without
+// one — the default contiguous layout keeps no ledger).
+func (mc *Machine) StackStats() StackStats { return mc.inst.StackStats() }
+
+// StackPolicyName names the attached stack policy ("contig" when none).
+func (mc *Machine) StackPolicyName() string { return mc.inst.StackPolicyName() }
+
+// RecordStackStats snapshots the stack-policy ledger into the attached
+// observer, adding the representation-dependent "stack" section and the
+// capture_words/segments histograms to the metrics export. Opt-in for
+// the same reason as RecordEngineTelemetry; a no-op without both an
+// observer and a policy.
+func (mc *Machine) RecordStackStats() { mc.inst.RecordStackStats() }
 
 // KernelCandidate is one cycle the native distiller considered: the
 // kernel shape that matched (with its closed form) or the precise reason
