@@ -59,7 +59,7 @@ var (
 	olevelsMode  = flag.Bool("olevels", false, "measure simulated cycles of the fixed workloads at -O0 and -O2")
 	reportMode   = flag.Bool("report", false, "run both the -olevels and -engines measurements; with -json, write one combined report for the cmmreport sentinel")
 	stacksMode   = flag.Bool("stacks", false, "race the four stack policies across the Figure 2 mechanisms; with -json, write the strategy × mechanism matrix")
-	updateExp    = flag.String("update-experiments", "", "with -stacks, splice the matrix between the cmmstacks markers of this file (EXPERIMENTS.md)")
+	updateExp    = flag.String("update-experiments", "", "with -stacks or -sched, splice the rendered table between that mode's markers in this file (EXPERIMENTS.md)")
 	outFile      = flag.String("out", "", "write output to this file instead of stdout")
 	jsonOut      = flag.String("json", "", "with -olevels/-engines/-report, also write the report as JSON to this file")
 	goldenDir    = flag.String("goldens", "", "with -olevels, diff results against DIR/<name>.golden and fail on drift")
@@ -124,6 +124,8 @@ func main() {
 		err = writeReport(out)
 	case *stacksMode:
 		err = writeStacks(out)
+	case *schedMode:
+		err = writeSched(out)
 	case *enginesMode:
 		err = writeEngines(out)
 	case *olevelsMode:

@@ -24,6 +24,12 @@
 //   - Stack-policy bookkeeping cycles (from "stacks" rows written by
 //     cmmbench -stacks) are informational: the policies race each
 //     other by design, so the trend is printed but never gated.
+//   - Scheduler scaling efficiency (from the "sched" section written by
+//     cmmbench -sched): the max-workers/1-worker aggregate-throughput
+//     ratio. Like raw throughput it is host-dependent, so it only gates
+//     between reports with identical host stamps (a drop past
+//     -max-scaling-regression fails the run) and is informational
+//     otherwise.
 //
 // -update-experiments FILE splices the rendered table between the
 // `<!-- cmmreport:begin -->` / `<!-- cmmreport:end -->` markers in FILE
@@ -45,6 +51,7 @@ var (
 	updateExp   = flag.String("update-experiments", "", "splice the trend table between the cmmreport markers in this file")
 	maxThruRegr = flag.Float64("max-throughput-regression", 0.10, "fail if native throughput drops by more than this fraction vs the previous comparable report")
 	maxCycleRgr = flag.Float64("max-cycle-regression", 0.02, "fail if -O2 simulated cycles rise by more than this fraction vs the previous report")
+	maxScaleRgr = flag.Float64("max-scaling-regression", 0.10, "fail if the scheduler's N-worker/1-worker throughput ratio drops by more than this fraction vs the previous same-host report")
 )
 
 func main() {
@@ -63,7 +70,7 @@ func main() {
 		reports = append(reports, r)
 	}
 	table := renderTrend(reports)
-	regressions := findRegressions(reports, *maxThruRegr, *maxCycleRgr)
+	regressions := findRegressions(reports, *maxThruRegr, *maxCycleRgr, *maxScaleRgr)
 
 	out := os.Stdout
 	if *outFile != "" {
@@ -135,6 +142,15 @@ type rawReport struct {
 		Policy       string `json:"policy"`
 		PolicyCycles int64  `json:"policy_cycles"`
 	} `json:"stacks"`
+	Sched *struct {
+		Tasks int64 `json:"tasks"`
+		Slice int64 `json:"slice"`
+		Rows  []struct {
+			Workers         int     `json:"workers"`
+			SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
+			Identical       bool    `json:"identical"`
+		} `json:"rows"`
+	} `json:"sched"`
 }
 
 // benchReport is one normalized input file.
@@ -147,6 +163,13 @@ type benchReport struct {
 	HitPct  map[string]float64 // workload -> native kernel-hit % (schema v2+)
 	Stacks  map[string]int64   // "workload/policy" -> stack-policy bookkeeping cycles
 	HaveHit bool
+
+	// Scheduler scaling (cmmbench -sched): aggregate throughput per
+	// worker count, plus the max-workers/1-worker efficiency ratio.
+	SchedThru map[string]float64 // "sched/2w" -> aggregate sim instrs/s
+	SchedEff  float64            // thru[max workers] / thru[min workers]
+	SchedEffL string             // label for the ratio, e.g. "4w/1w"
+	HaveSched bool
 }
 
 // label turns "bench/BENCH_pr5.json" into "pr5".
@@ -182,8 +205,8 @@ func parseReport(name string, data []byte) (benchReport, error) {
 	if r.Schema == 0 {
 		r.Schema = 1
 	}
-	if raw.OLevels == nil && raw.Engines == nil && raw.Benchmarks == nil && raw.Stacks == nil {
-		return r, fmt.Errorf("%s: no olevels, engines, benchmarks, or stacks section", name)
+	if raw.OLevels == nil && raw.Engines == nil && raw.Benchmarks == nil && raw.Stacks == nil && raw.Sched == nil {
+		return r, fmt.Errorf("%s: no olevels, engines, benchmarks, stacks, or sched section", name)
 	}
 	for _, o := range raw.OLevels {
 		r.Cycles[o.Name] = o.O2Cycles
@@ -206,6 +229,27 @@ func parseReport(name string, data []byte) (benchReport, error) {
 	}
 	for _, s := range raw.Stacks {
 		r.Stacks[s.Workload+"/"+s.Policy] = s.PolicyCycles
+	}
+	if raw.Sched != nil && len(raw.Sched.Rows) > 0 {
+		r.SchedThru = map[string]float64{}
+		minW, maxW := raw.Sched.Rows[0], raw.Sched.Rows[0]
+		for _, row := range raw.Sched.Rows {
+			if !row.Identical {
+				return r, fmt.Errorf("%s: sched row at %d workers failed the determinism proof", name, row.Workers)
+			}
+			r.SchedThru[fmt.Sprintf("sched/%dw", row.Workers)] = row.SimInstrsPerSec
+			if row.Workers < minW.Workers {
+				minW = row
+			}
+			if row.Workers > maxW.Workers {
+				maxW = row
+			}
+		}
+		if minW.Workers < maxW.Workers && minW.SimInstrsPerSec > 0 {
+			r.SchedEff = maxW.SimInstrsPerSec / minW.SimInstrsPerSec
+			r.SchedEffL = fmt.Sprintf("%dw/%dw", maxW.Workers, minW.Workers)
+			r.HaveSched = true
+		}
 	}
 	return r, nil
 }
@@ -348,6 +392,40 @@ func renderTrend(reports []benchReport) string {
 		b.WriteString("\n")
 	}
 
+	// Scheduler scaling: aggregate throughput per worker-pool size plus
+	// the top/bottom efficiency ratio. Host-dependent, like raw
+	// throughput.
+	if names := workloadsOfF(reports, func(r benchReport) map[string]float64 { return r.SchedThru }); len(names) > 0 {
+		fmt.Fprintf(&b, "### M:N scheduler scaling (aggregate M sim instrs/s per worker pool, host-dependent)\n\n")
+		writeHeader(&b, labels)
+		for _, n := range names {
+			vals, have := seriesF(reports, n, func(r benchReport) map[string]float64 { return r.SchedThru })
+			fmt.Fprintf(&b, "| %s |", n)
+			for i := range reports {
+				if have[i] {
+					fmt.Fprintf(&b, " %.0f |", vals[i]/1e6)
+				} else {
+					fmt.Fprint(&b, " — |")
+				}
+			}
+			fmt.Fprintf(&b, " %s |\n", deltaPct(vals, have))
+		}
+		effVals := make([]float64, len(reports))
+		effHave := make([]bool, len(reports))
+		for i, r := range reports {
+			effVals[i], effHave[i] = r.SchedEff, r.HaveSched
+		}
+		fmt.Fprint(&b, "| scaling efficiency |")
+		for _, r := range reports {
+			if r.HaveSched {
+				fmt.Fprintf(&b, " %.2f× (%s) |", r.SchedEff, r.SchedEffL)
+			} else {
+				fmt.Fprint(&b, " — |")
+			}
+		}
+		fmt.Fprintf(&b, " %s |\n\n", deltaPct(effVals, effHave))
+	}
+
 	// Kernel-hit rate: v2 reports only.
 	any := false
 	for _, r := range reports {
@@ -412,7 +490,7 @@ func seriesF(reports []benchReport, name string, get func(benchReport) map[strin
 // earlier report that carries a comparable value for each workload.
 // Cycle comparisons are unconditional (deterministic metric);
 // throughput comparisons additionally require identical host metadata.
-func findRegressions(reports []benchReport, maxThru, maxCycle float64) []string {
+func findRegressions(reports []benchReport, maxThru, maxCycle, maxScale float64) []string {
 	if len(reports) < 2 {
 		return nil
 	}
@@ -455,6 +533,26 @@ func findRegressions(reports []benchReport, maxThru, maxCycle float64) []string 
 				out = append(out, fmt.Sprintf(
 					"%s: native throughput dropped %.1f%% (%.0fM → %.0fM sim instrs/s, %s → %s; threshold %.0f%%)",
 					name, 100*drop, oldV/1e6, newV/1e6, reports[i].Label, newest.Label, 100*maxThru))
+			}
+			break
+		}
+	}
+
+	// Scheduler scaling efficiency: same-host gated, like throughput.
+	if newest.HaveSched {
+		for i := len(reports) - 2; i >= 0; i-- {
+			old := reports[i]
+			if !old.HaveSched {
+				continue
+			}
+			if !sameHost(old.Host, newest.Host) {
+				break
+			}
+			if drop := (old.SchedEff - newest.SchedEff) / old.SchedEff; drop > maxScale {
+				out = append(out, fmt.Sprintf(
+					"sched: scaling efficiency dropped %.1f%% (%.2f× %s → %.2f× %s, %s → %s; threshold %.0f%%)",
+					100*drop, old.SchedEff, old.SchedEffL, newest.SchedEff, newest.SchedEffL,
+					old.Label, newest.Label, 100*maxScale))
 			}
 			break
 		}

@@ -115,13 +115,94 @@ func TestParseStacksOnly(t *testing.T) {
 		t.Errorf("stacks rows = %v", r.Stacks)
 	}
 	old := mustParse(t, "pr8", v2Report(299, 5e9, 8))
-	if regr := findRegressions([]benchReport{old, r}, 0.10, 0.02); len(regr) != 0 {
+	if regr := findRegressions([]benchReport{old, r}, 0.10, 0.02, 0.10); len(regr) != 0 {
 		t.Errorf("stacks-only report must not gate anything, got %v", regr)
 	}
 	table := renderTrend([]benchReport{old, r})
 	if !strings.Contains(table, "### Stack-policy bookkeeping cycles") ||
 		!strings.Contains(table, "| fig2_cut_to/copy | — | 46 | — |") {
 		t.Errorf("trend table lacks the stacks section:\n%s", table)
+	}
+}
+
+// v2Sched builds a cmmbench -sched report: 1-worker and 4-worker rows
+// with the given throughputs, on a host with the given CPU count.
+func v2Sched(thru1, thru4 float64, cpus int, identical bool) string {
+	ident := "true"
+	if !identical {
+		ident = "false"
+	}
+	return `{
+  "schema_version": 2,
+  "host": {"goos": "linux", "goarch": "amd64", "cpus": ` + itoaInt(cpus) + `, "go_version": "go1.24.0"},
+  "engine_names": ["native"],
+  "sched": {
+    "engine": "native", "tasks": 2000, "slice": 10000,
+    "rows": [
+      {"workers": 1, "sim_instrs_per_sec": ` + ftoa(thru1) + `, "speedup_vs_1": 1, "identical": true},
+      {"workers": 4, "sim_instrs_per_sec": ` + ftoa(thru4) + `, "speedup_vs_1": 0, "identical": ` + ident + `}
+    ]
+  }
+}`
+}
+
+// TestParseSchedSection: a -sched report loads standalone, exposes
+// per-worker throughput and the 4w/1w efficiency ratio, and is rejected
+// outright if any row failed the determinism proof.
+func TestParseSchedSection(t *testing.T) {
+	r := mustParse(t, "pr10", v2Sched(1e8, 3.5e8, 4, true))
+	if !r.HaveSched {
+		t.Fatal("sched report not recognized")
+	}
+	if r.SchedThru["sched/1w"] != 1e8 || r.SchedThru["sched/4w"] != 3.5e8 {
+		t.Errorf("sched throughput rows = %v", r.SchedThru)
+	}
+	if r.SchedEff != 3.5 || r.SchedEffL != "4w/1w" {
+		t.Errorf("sched efficiency = %v (%s), want 3.5 (4w/1w)", r.SchedEff, r.SchedEffL)
+	}
+	if _, err := parseReport("pr10", []byte(v2Sched(1e8, 3.5e8, 4, false))); err == nil {
+		t.Error("a sched row that failed the determinism proof must be rejected")
+	}
+}
+
+// TestSchedScalingRegression: a >10% same-host drop in the efficiency
+// ratio gates; the same drop across host stamps is informational.
+func TestSchedScalingRegression(t *testing.T) {
+	old := mustParse(t, "pr10", v2Sched(1e8, 3.5e8, 4, true)) // 3.50×
+	bad := mustParse(t, "pr11", v2Sched(1e8, 2.8e8, 4, true)) // 2.80×, -20%
+	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02, 0.10)
+	if len(regr) != 1 || !strings.Contains(regr[0], "scaling efficiency dropped 20.0%") {
+		t.Errorf("want one 20%% scaling regression, got %v", regr)
+	}
+
+	ok := mustParse(t, "pr11", v2Sched(1e8, 3.3e8, 4, true)) // -5.7%
+	if regr := findRegressions([]benchReport{old, ok}, 0.10, 0.02, 0.10); len(regr) != 0 {
+		t.Errorf("6%% efficiency drop should pass, got %v", regr)
+	}
+
+	diffHost := mustParse(t, "pr11", v2Sched(1e8, 2.8e8, 8, true))
+	if regr := findRegressions([]benchReport{old, diffHost}, 0.10, 0.02, 0.10); len(regr) != 0 {
+		t.Errorf("cross-host scaling must not gate, got %v", regr)
+	}
+}
+
+// TestRenderSchedSection: the trend table carries the per-pool rows and
+// the efficiency row.
+func TestRenderSchedSection(t *testing.T) {
+	reports := []benchReport{
+		mustParse(t, "pr8", v2Report(299, 5e9, 4)),
+		mustParse(t, "pr10", v2Sched(1e8, 3.5e8, 4, true)),
+	}
+	table := renderTrend(reports)
+	for _, want := range []string{
+		"### M:N scheduler scaling",
+		"| sched/1w | — | 100 | — |",
+		"| sched/4w | — | 350 | — |",
+		"| scaling efficiency | — | 3.50× (4w/1w) | — |",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("trend table lacks %q:\n%s", want, table)
+		}
 	}
 }
 
@@ -143,14 +224,14 @@ func TestLabelFromPath(t *testing.T) {
 func TestThroughputRegressionSameHost(t *testing.T) {
 	old := mustParse(t, "pr8", v2Report(299, 5_000_000_000, 8))
 	bad := mustParse(t, "pr9", v2Report(299, 4_400_000_000, 8)) // -12%
-	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02)
+	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02, 0.10)
 	if len(regr) != 1 || !strings.Contains(regr[0], "throughput dropped 12.0%") {
 		t.Errorf("want one 12%% throughput regression, got %v", regr)
 	}
 
 	// A 5% drop stays under the default threshold.
 	ok := mustParse(t, "pr9", v2Report(299, 4_750_000_000, 8))
-	if regr := findRegressions([]benchReport{old, ok}, 0.10, 0.02); len(regr) != 0 {
+	if regr := findRegressions([]benchReport{old, ok}, 0.10, 0.02, 0.10); len(regr) != 0 {
 		t.Errorf("5%% drop should pass, got %v", regr)
 	}
 }
@@ -161,13 +242,13 @@ func TestThroughputRegressionSameHost(t *testing.T) {
 func TestThroughputNotGatedAcrossHosts(t *testing.T) {
 	old := mustParse(t, "pr8", v2Report(299, 5_000_000_000, 8))
 	diffHost := mustParse(t, "pr9", v2Report(299, 4_400_000_000, 4))
-	if regr := findRegressions([]benchReport{old, diffHost}, 0.10, 0.02); len(regr) != 0 {
+	if regr := findRegressions([]benchReport{old, diffHost}, 0.10, 0.02, 0.10); len(regr) != 0 {
 		t.Errorf("cross-host throughput must not gate, got %v", regr)
 	}
 
 	v1 := mustParse(t, "pr6", v1Engines) // no host stamp
 	newer := mustParse(t, "pr8", v2Report(299, 4_000_000_000, 8))
-	if regr := findRegressions([]benchReport{v1, newer}, 0.10, 0.02); len(regr) != 0 {
+	if regr := findRegressions([]benchReport{v1, newer}, 0.10, 0.02, 0.10); len(regr) != 0 {
 		t.Errorf("v1-vs-v2 throughput must not gate, got %v", regr)
 	}
 }
@@ -178,13 +259,13 @@ func TestThroughputNotGatedAcrossHosts(t *testing.T) {
 func TestCycleRegressionAlwaysGated(t *testing.T) {
 	old := mustParse(t, "pr5", v1OLevels) // figure1_sp3: 299 cycles
 	bad := mustParse(t, "pr9", v2Report(320, 5e9, 4))
-	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02)
+	regr := findRegressions([]benchReport{old, bad}, 0.10, 0.02, 0.10)
 	if len(regr) != 1 || !strings.Contains(regr[0], "-O2 cycles rose 7.0%") {
 		t.Errorf("want one 7%% cycle regression, got %v", regr)
 	}
 
 	same := mustParse(t, "pr9", v2Report(299, 5e9, 4))
-	if regr := findRegressions([]benchReport{old, same}, 0.10, 0.02); len(regr) != 0 {
+	if regr := findRegressions([]benchReport{old, same}, 0.10, 0.02, 0.10); len(regr) != 0 {
 		t.Errorf("identical cycles should pass, got %v", regr)
 	}
 }

@@ -45,6 +45,14 @@ import (
 	"cmm/internal/diag"
 )
 
+// badFlag reports an unrecognized value for an enum-valued flag,
+// always listing what the flag accepts. Every cmmrun flag with a fixed
+// value set fails through this one helper so the diagnostics stay
+// uniform.
+func badFlag(name, got string, valid ...string) error {
+	return fmt.Errorf("unknown -%s value %q (valid values: %s)", name, got, strings.Join(valid, ", "))
+}
+
 // statsValue lets -stats work both as a boolean (-stats → text) and as
 // a format selector (-stats=json).
 type statsValue struct {
@@ -63,7 +71,7 @@ func (v *statsValue) Set(s string) error {
 	case "json":
 		v.set, v.format = true, "json"
 	default:
-		return fmt.Errorf("want -stats, -stats=text, or -stats=json")
+		return badFlag("stats", s, "text", "json")
 	}
 	return nil
 }
@@ -101,7 +109,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *traceFormat != "chrome" && *traceFormat != "text" {
-		fatal("flags", fmt.Errorf("unknown trace format %q (want chrome or text)", *traceFormat))
+		fatal("flags", badFlag("trace-format", *traceFormat, "chrome", "text"))
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -137,7 +145,7 @@ func main() {
 	case strings.HasPrefix(*dispatcher, "register:"):
 		opts = append(opts, cmm.WithDispatcher(cmm.NewRegisterDispatcher(strings.TrimPrefix(*dispatcher, "register:"))))
 	default:
-		fatal("flags", fmt.Errorf("unknown dispatcher %q", *dispatcher))
+		fatal("flags", badFlag("dispatcher", *dispatcher, "unwind", "exnstack:<global>", "register:<global>"))
 	}
 	if observer != nil {
 		opts = append(opts, cmm.WithObserver(observer))
@@ -148,7 +156,7 @@ func main() {
 		}
 		k, err := cmm.ParseStackPolicy(*stackPolicy)
 		if err != nil {
-			fatal("flags", err)
+			fatal("flags", badFlag("stack", *stackPolicy, "contig", "seg", "copy", "hybrid"))
 		}
 		opts = append(opts, cmm.WithStackPolicy(k))
 	}
@@ -158,7 +166,7 @@ func main() {
 		}
 		mode, err := cmm.ParseContMode(*contMode)
 		if err != nil {
-			fatal("flags", err)
+			fatal("flags", badFlag("cont", *contMode, "unchecked", "oneshot", "multishot"))
 		}
 		opts = append(opts, cmm.WithContMode(mode))
 	}
@@ -246,7 +254,7 @@ func main() {
 			printStackStats(mach)
 		}
 	default:
-		fatal("flags", fmt.Errorf("unknown engine %q (valid engines: interp, fast, ref, native)", *engine))
+		fatal("flags", badFlag("engine", *engine, "interp", "fast", "ref", "native"))
 	}
 
 	writeObservations(mod, observer)

@@ -131,6 +131,7 @@ func suffixAggregates(code []Instr, c Costs) []costDelta {
 type chunkAcct struct {
 	total    int64 // running Stats.Instrs (absolute, not a delta)
 	limit    int64 // runStart + MaxInstrs: the divergence backstop
+	slice    int64 // absolute slice-pause edge (m.sliceEdge; MaxInt64 when off)
 	cycles   int64 // deltas since begin
 	loads    int64
 	stores   int64
@@ -144,12 +145,36 @@ type chunkAcct struct {
 // be flushed (Stats current) when called: at Run entry, and after any
 // callout returns.
 func (a *chunkAcct) begin(m *Machine) {
+	edge := m.sliceEdge
+	if edge <= 0 {
+		// An engine loop entered without Run's bookkeeping (tests drive
+		// fastChunk directly): no slice edge is armed.
+		edge = int64(^uint64(0) >> 1)
+	}
 	*a = chunkAcct{
 		total:   m.Stats.Instrs,
 		limit:   m.runStart + m.MaxInstrs,
+		slice:   edge,
 		cycBase: m.Stats.Cycles,
 	}
 }
+
+// headroom is the instruction count the chunk may still retire before
+// the nearer of the divergence backstop and the slice edge. The native
+// tier's kernels cap their closed-form iteration counts with it so a
+// kernel never runs past a slice boundary; slicePinched tells a capped
+// kernel which edge it stopped at.
+func (a *chunkAcct) headroom() int64 {
+	lim := a.limit
+	if a.slice < lim {
+		lim = a.slice
+	}
+	return lim - a.total
+}
+
+// slicePinched reports whether the slice edge, not the divergence
+// backstop, is the binding bound on headroom.
+func (a *chunkAcct) slicePinched() bool { return a.slice < a.limit }
 
 // ts is the event timestamp at the current point in the chunk: exactly
 // the Stats.Cycles a flush here would publish.

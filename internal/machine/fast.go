@@ -21,9 +21,7 @@ import (
 // engine. Like Run, the caller must set PC and argument registers first.
 func (m *Machine) RunFast() error {
 	m.ensureDecoded()
-	m.halted = false
-	m.runStart = m.Stats.Instrs
-	m.beginPolicyRun()
+	m.beginRun()
 	return m.fastLoop()
 }
 
@@ -109,6 +107,13 @@ func (m *Machine) fastChunk() error {
 	var a chunkAcct
 	a.begin(m)
 	for {
+		if a.total >= a.slice {
+			// Budget-slice edge: flush at this clean boundary and pause.
+			// PC is the next unexecuted instruction, so resuming (or
+			// redirecting, for cancellation) is exactly a yield resume.
+			a.flush(m, pc)
+			return m.pauseSlice()
+		}
 		if uint(pc) >= uint(len(code)) {
 			a.flush(m, pc)
 			return m.trapf("pc out of range")

@@ -18,7 +18,9 @@ package machine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math"
 
 	"cmm/internal/obs"
 )
@@ -273,6 +275,7 @@ type Telemetry struct {
 	DeoptBudget    int64 // stopped at the instruction-budget edge
 	DeoptObserver  int64 // kernel refused to run: an observer needs the cycle's events
 	DeoptPolicy    int64 // kernel refused to run: a non-contiguous stack policy needs the cycle's hooks
+	DeoptSlice     int64 // stopped at a budget-slice edge (SliceLimit): the scheduler preempts here
 	// ChainDispatches counts native-tier trampoline dispatches (one per
 	// closure-chain entry).
 	ChainDispatches int64
@@ -349,6 +352,22 @@ type Machine struct {
 	MaxInstrs int64
 	runStart  int64
 
+	// SliceLimit, when positive, turns Run into a budget slice: the
+	// engine stops after about that many simulated instructions at a
+	// clean instruction boundary — counters flushed, PC at the next
+	// unexecuted instruction — and Run returns ErrSlicePaused. Calling
+	// Run again continues the same logical run for another slice: the
+	// divergence backstop, the stack policy's position state, and the
+	// seen-continuation set all persist until the run halts or traps.
+	// The exact pause point is engine-dependent (the batched engines
+	// pause at their own flush granularity: a fused pair or a straight-
+	// line run may overshoot the edge by a few instructions) but
+	// deterministic per engine, and the final machine state of a sliced
+	// run is bit-identical to the same run executed without slicing.
+	SliceLimit int64
+	sliceEdge  int64 // absolute Stats.Instrs pause point (MaxInt64 when off)
+	paused     bool
+
 	// Pre-decoded program for the fast engine, cached per Code slice
 	// (decode.go). Replacing m.Code invalidates it automatically;
 	// mutating instructions in place requires InvalidateDecode.
@@ -378,6 +397,51 @@ func (e *TrapError) Error() string { return fmt.Sprintf("machine trap at pc=%d: 
 // New creates a machine with the given memory size.
 func New(memSize int) *Machine {
 	return &Machine{Mem: make([]byte, memSize), Cost: DefaultCosts, MaxInstrs: 200_000_000}
+}
+
+// Precompile builds and caches the selected engine's compiled artifacts
+// for the current Code and cost model without executing anything: the
+// pre-decoded threaded code for the fast engine, plus the closure chains
+// for the native tier (which also warms the fast decode, its budget-edge
+// delegate). Run does this lazily; calling it eagerly lets many machines
+// share one compile via ShareArtifacts.
+func (m *Machine) Precompile() {
+	switch m.Engine {
+	case EngineRef:
+	case EngineNative:
+		m.ensureNative()
+		m.ensureDecoded()
+	default:
+		m.ensureDecoded()
+	}
+}
+
+// ShareArtifacts adopts src's cached compiled artifacts. Both caches are
+// validated the same way ensureDecoded/ensureNative validate them — the
+// code slice must share src's backing array and the cost models must
+// match — so a stale or mismatched source is simply ignored and m
+// recompiles on demand. The artifacts are immutable during execution
+// (all run state lives in the Machine), so any number of machines may
+// execute one shared copy, including concurrently.
+func (m *Machine) ShareArtifacts(src *Machine) {
+	if src == nil || len(m.Code) == 0 || len(src.Code) == 0 {
+		return
+	}
+	if &m.Code[0] != &src.Code[0] || len(m.Code) != len(src.Code) {
+		return
+	}
+	if src.decoded != nil && src.decodedPtr == &src.Code[0] && src.decodedLen == len(src.Code) && src.decodedCost == m.Cost {
+		m.decoded = src.decoded
+		m.decodedPtr = src.decodedPtr
+		m.decodedLen = src.decodedLen
+		m.decodedCost = src.decodedCost
+	}
+	if src.native != nil && src.nativePtr == &src.Code[0] && src.nativeLen == len(src.Code) && src.nativeCost == m.Cost {
+		m.native = src.native
+		m.nativePtr = src.nativePtr
+		m.nativeLen = src.nativeLen
+		m.nativeCost = src.nativeCost
+	}
 }
 
 func (m *Machine) trapf(format string, args ...any) error {
@@ -412,6 +476,45 @@ func (m *Machine) StoreWord(addr, v uint64, size int) error {
 // Halted reports whether the machine has executed Halt.
 func (m *Machine) Halted() bool { return m.halted }
 
+// ErrSlicePaused reports that Run stopped at a budget-slice boundary
+// (SliceLimit) rather than halting or trapping. The machine is fully
+// flushed and consistent: calling Run again resumes the same logical
+// run, and a run-time system may redirect it first (e.g. cut to a
+// cancellation continuation) exactly as it could during a yield.
+var ErrSlicePaused = errors.New("machine paused at slice boundary")
+
+// Paused reports whether the machine is suspended at a slice boundary
+// (the last Run returned ErrSlicePaused and the run has not resumed).
+func (m *Machine) Paused() bool { return m.paused }
+
+// beginRun is every engine's entry bookkeeping. A fresh run rebases the
+// divergence backstop and resets the per-run policy and continuation-
+// identity state; resuming from a slice pause does neither, because a
+// sliced run is one logical run. Either way the slice edge is re-armed:
+// each Run call gets a full SliceLimit allowance.
+func (m *Machine) beginRun() {
+	m.halted = false
+	if m.paused {
+		m.paused = false
+	} else {
+		m.runStart = m.Stats.Instrs
+		m.beginPolicyRun()
+	}
+	if m.SliceLimit > 0 {
+		m.sliceEdge = m.Stats.Instrs + m.SliceLimit
+	} else {
+		m.sliceEdge = math.MaxInt64
+	}
+}
+
+// pauseSlice marks the machine suspended at a slice boundary. The caller
+// must have flushed the counters and left PC at the next unexecuted
+// instruction.
+func (m *Machine) pauseSlice() error {
+	m.paused = true
+	return ErrSlicePaused
+}
+
 // Run executes until Halt or an error. The caller must set PC and any
 // argument registers first. The execution loop is chosen by m.Engine;
 // simulated counters are bit-identical either way.
@@ -422,10 +525,11 @@ func (m *Machine) Run() error {
 	case EngineNative:
 		return m.RunNative()
 	}
-	m.halted = false
-	m.runStart = m.Stats.Instrs
-	m.beginPolicyRun()
+	m.beginRun()
 	for !m.halted {
+		if m.Stats.Instrs >= m.sliceEdge {
+			return m.pauseSlice()
+		}
 		if err := m.Step(); err != nil {
 			return err
 		}

@@ -112,9 +112,7 @@ func (m *Machine) ExplainKernels() []KernelCandidate {
 // Run, the caller must set PC and argument registers first.
 func (m *Machine) RunNative() error {
 	m.ensureNative()
-	m.halted = false
-	m.runStart = m.Stats.Instrs
-	m.beginPolicyRun()
+	m.beginRun()
 	p := m.native
 	if m.natSt == nil {
 		m.natSt = &natState{}
@@ -127,6 +125,14 @@ func (m *Machine) RunNative() error {
 	st.acct.begin(m)
 	pc := m.PC
 	for {
+		if st.acct.total >= st.acct.slice {
+			// Budget-slice edge between straight-line runs: flush and
+			// pause. Chains never pause mid-run, so the overshoot past
+			// the edge is bounded by the longest straight-line run (and
+			// the kernels cap their closed forms with headroom()).
+			st.acct.flush(m, pc)
+			return m.pauseSlice()
+		}
 		if p == nil || uint(pc) >= uint(len(p.fns)) {
 			st.acct.flush(m, pc)
 			return m.trapf("pc out of range")

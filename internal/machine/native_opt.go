@@ -656,9 +656,13 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string
 	return func(st *natState) int {
 		st.acct.add(&neg)
 		r := st.regs
-		room := (st.acct.limit - st.acct.total - agg.instrs) / itD.instrs
+		room := (st.acct.headroom() - agg.instrs) / itD.instrs
+		edge := uint64(obs.DeoptBudget) // which bound pinches room: budget or slice
+		if st.acct.slicePinched() {
+			edge = obs.DeoptSlice
+		}
 		var k int64
-		deopt := uint64(obs.DeoptBudget) // room <= 0: no headroom at entry
+		deopt := edge // room <= 0: no headroom at entry
 		ok := room > 0
 		var stAddr uint64
 		if ok && hasStore {
@@ -700,7 +704,7 @@ func matchCounted(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string
 			if s == stop {
 				deopt = obs.DeoptCycleExit
 			} else {
-				deopt = obs.DeoptBudget // k == room: budget edge
+				deopt = edge // k == room: budget or slice edge
 			}
 			if k > 0 {
 				d := scaleDelta(itD, k)
@@ -746,6 +750,8 @@ func kernelHandback(st *natState, h int, k, instrs int64, reason uint64) {
 		t.DeoptObserver++
 	case obs.DeoptPolicy:
 		t.DeoptPolicy++
+	case obs.DeoptSlice:
+		t.DeoptSlice++
 	}
 	if o := st.m.Obs; o != nil && o.EngineEvents {
 		o.Emit(obs.Event{Kind: obs.KDeopt, Ts: st.acct.ts(), Instr: st.acct.total,
@@ -878,9 +884,13 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
 		}
 		st.acct.add(&neg)
 		r := st.regs
-		room := (st.acct.limit - st.acct.total - agg.instrs) / itD.instrs
+		room := (st.acct.headroom() - agg.instrs) / itD.instrs
+		edge := uint64(obs.DeoptBudget) // which bound pinches room: budget or slice
+		if st.acct.slicePinched() {
+			edge = obs.DeoptSlice
+		}
 		var k int64
-		deopt := uint64(obs.DeoptBudget) // room <= 0: no headroom at entry
+		deopt := edge // room <= 0: no headroom at entry
 		spv := r[base]
 		if room > 0 && spv <= uint64(len(st.mem)) && spv >= fd {
 			memRoom := int64(spv / fd)
@@ -947,7 +957,7 @@ func matchPush(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
 			case capMem && k == room:
 				deopt = obs.DeoptTrap // next push would leave memory; trap runs on the chains
 			default:
-				deopt = obs.DeoptBudget
+				deopt = edge
 			}
 			if k > 0 {
 				cd := scaleDelta(itD, k)
@@ -1073,9 +1083,13 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
 		}
 		st.acct.add(&neg)
 		r := st.regs
-		room := (st.acct.limit - st.acct.total - agg.instrs) / itD.instrs
+		room := (st.acct.headroom() - agg.instrs) / itD.instrs
+		edge := uint64(obs.DeoptBudget) // which bound pinches room: budget or slice
+		if st.acct.slicePinched() {
+			edge = obs.DeoptSlice
+		}
 		var k int64
-		deopt := uint64(obs.DeoptBudget) // room <= 0: no headroom at entry
+		deopt := edge // room <= 0: no headroom at entry
 		spv := r[base]
 		mlen := uint64(len(st.mem))
 		if room > 0 && spv < mlen && spv+maxOff+8 <= mlen {
@@ -1125,7 +1139,7 @@ func matchPop(p *natProg, code []Instr, cost Costs, h, j int) (natFn, string) {
 			case capMem:
 				deopt = obs.DeoptTrap // next peek would leave memory; the chains take over
 			default:
-				deopt = obs.DeoptBudget
+				deopt = edge
 			}
 			if k > 0 {
 				cd := scaleDelta(itD, k)

@@ -74,6 +74,13 @@ type Metrics struct {
 	// byte-identical across policies.
 	StackName string           `json:"stack_policy,omitempty"`
 	Stack     map[string]int64 `json:"stack,omitempty"`
+	// Sched and SchedWorkers carry an M:N scheduler run's aggregate
+	// report (task outcomes, slices, steals, simulated work) and the
+	// per-worker split. Omitted unless RecordSched was called: single
+	// executions have no scheduler, and their exports must stay
+	// byte-identical to pre-scheduler goldens.
+	Sched        map[string]int64   `json:"sched,omitempty"`
+	SchedWorkers []map[string]int64 `json:"sched_workers,omitempty"`
 	// DroppedEvents counts trace events past the buffer bound; counters
 	// above include them, histograms (built from the trace) do not.
 	DroppedEvents int64 `json:"dropped_events,omitempty"`
@@ -165,6 +172,41 @@ func (o *Observer) Metrics() *Metrics {
 		// telemetry goldens byte-identical.
 		if t.DeoptPolicy != 0 {
 			m.Engine["deopt_stack_policy"] = t.DeoptPolicy
+		}
+		// Slice-edge deopts exist only under a scheduler's budget slices;
+		// the key appears only then, keeping unsliced goldens identical.
+		if t.DeoptSlice != 0 {
+			m.Engine["deopt_slice_edge"] = t.DeoptSlice
+		}
+	}
+	if o.haveSS {
+		s := o.ss
+		m.Sched = map[string]int64{
+			"workers":    int64(s.Workers),
+			"slice":      s.Slice,
+			"tasks":      s.Tasks,
+			"completed":  s.Completed,
+			"cancelled":  s.Cancelled,
+			"trapped":    s.Trapped,
+			"slices":     s.Slices,
+			"steals":     s.Steals,
+			"sim_instrs": s.SimInstrs,
+			"sim_cycles": s.SimCycles,
+		}
+		for _, w := range s.PerWorker {
+			m.SchedWorkers = append(m.SchedWorkers, map[string]int64{
+				"slices":       w.Slices,
+				"tasks":        w.Tasks,
+				"steals":       w.Steals,
+				"stolen_tasks": w.Stolen,
+				"sim_instrs":   w.SimInstrs,
+			})
+		}
+		if len(s.QueueDepths) > 0 {
+			h["sched_queue_depth"] = snapshotHistogram(s.QueueDepths)
+		}
+		if len(s.CutDepths) > 0 {
+			h["sched_cut_depth"] = snapshotHistogram(s.CutDepths)
 		}
 	}
 	if o.haveSPS {

@@ -135,6 +135,7 @@ const (
 	DeoptBudget    = 3 // stopped at the instruction-budget edge
 	DeoptObserver  = 4 // kernel refused to run: an observer needs the cycle's events
 	DeoptPolicy    = 5 // kernel refused to run: a non-contiguous stack policy needs the cycle's hooks
+	DeoptSlice     = 6 // stopped at a budget-slice edge: the scheduler preempts here
 )
 
 // DeoptName names a deopt reason.
@@ -150,6 +151,8 @@ func DeoptName(r uint64) string {
 		return "observer"
 	case DeoptPolicy:
 		return "stack-policy"
+	case DeoptSlice:
+		return "slice-edge"
 	}
 	return fmt.Sprintf("deopt(%d)", r)
 }
@@ -207,6 +210,8 @@ type Observer struct {
 	haveET      bool
 	sps         StackPolicyStats
 	haveSPS     bool
+	ss          SchedStats
+	haveSS      bool
 }
 
 // New returns an enabled observer with the default trace bound.
@@ -301,6 +306,7 @@ type EngineTelemetry struct {
 	DeoptBudget     int64
 	DeoptObserver   int64
 	DeoptPolicy     int64
+	DeoptSlice      int64
 	ChainDispatches int64
 	FusionHits      int64
 }
@@ -312,6 +318,53 @@ type EngineTelemetry struct {
 func (o *Observer) RecordEngineTelemetry(t EngineTelemetry) {
 	o.et = t
 	o.haveET = true
+}
+
+// SchedWorker is one worker's share of an M:N scheduler run: how many
+// slices it executed, how many tasks it retired, how often it stole, and
+// the simulated instructions it advanced. The split across workers is
+// timing-dependent; the totals are not.
+type SchedWorker struct {
+	Slices    int64
+	Tasks     int64
+	Steals    int64
+	Stolen    int64
+	SimInstrs int64
+}
+
+// SchedStats mirrors internal/sched's aggregate report of one scheduler
+// run, so exporters can render a "sched" section without obs importing
+// the scheduler. Totals (tasks, outcomes, simulated work) are
+// deterministic for a given task set and slice size regardless of the
+// worker count; the per-worker split and the steal counts describe how
+// the host divided the work.
+type SchedStats struct {
+	Workers   int
+	Slice     int64
+	Tasks     int64
+	Completed int64
+	Cancelled int64
+	Trapped   int64
+	Slices    int64
+	Steals    int64
+	SimInstrs int64
+	SimCycles int64
+	PerWorker []SchedWorker
+	// QueueDepths holds one sample of the dequeuing worker's local queue
+	// depth per scheduling decision; CutDepths one sample per
+	// cancellation cut (the activations the cut discarded).
+	QueueDepths []int64
+	CutDepths   []int64
+}
+
+// RecordSched snapshots a scheduler run's aggregate stats into the
+// observer: the metrics export grows a "sched" section plus queue-depth
+// and cancellation cut-depth histograms. Opt-in like the engine and
+// stack sections, for the same reason: single-execution exports have no
+// scheduler, and their goldens must stay byte-identical.
+func (o *Observer) RecordSched(s SchedStats) {
+	o.ss = s
+	o.haveSS = true
 }
 
 // StackPolicyStats mirrors the machine's activation-stack policy ledger

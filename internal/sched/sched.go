@@ -1,0 +1,325 @@
+// Package sched is an M:N scheduler for simulated threads: it
+// multiplexes many independent machine instances — each a vm.Instance
+// with its own activation stack, registers, counters, and stack policy
+// — over a small pool of host goroutines. It is the serving story for
+// the paper's runtime: every task is one handler-rich C-- request, and
+// the front-end run-time system above the Table 1 interface becomes a
+// request scheduler.
+//
+// The design leans on three properties established below it:
+//
+//   - Budget slices (machine.SliceLimit): every engine can stop at a
+//     clean boundary after about one slice of simulated instructions
+//     and resume bit-identically, so the scheduler preempts threads
+//     without cooperation from the C-- program.
+//
+//   - Artifact sharing (vm.Instance.Clone): all instances of one
+//     program share its code, procedure tables, and compiled engine
+//     caches, which are immutable during execution — so a thousand
+//     threads cost one compile plus a thousand memories.
+//
+//   - Run-time cuts (vm.Instance.CancelCut): cancellation is the
+//     paper's stack cut driven from outside — constant work regardless
+//     of how deep the in-flight handler stack is, through the same
+//     continuation the program parked for its own exceptions.
+//
+// Determinism: a task's result, trap, counters, slice count, and
+// cancellation point depend only on (program, engine, slice size,
+// cancellation deadline) — never on worker count or host timing —
+// because machines are isolated, pause points are per-engine
+// deterministic, and cancellation fires at the first slice boundary at
+// or past a simulated-instruction deadline. Only the scheduling
+// telemetry (steals, queue depths, per-worker splits) varies run to
+// run; the test suite pins everything else across worker counts.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cmm/internal/machine"
+	"cmm/internal/obs"
+	"cmm/internal/vm"
+)
+
+// DefaultSlice is the budget slice used when Config.Slice is zero:
+// large enough to amortize scheduling overhead, small enough that a
+// misbehaving request is preempted promptly.
+const DefaultSlice = 10_000
+
+// Task is one simulated thread: a request to run Proc(Args...) on a
+// fresh clone of Proto. The clone is created lazily, on the task's
+// first slice, by whichever worker picks it up.
+type Task struct {
+	// ID is the caller's identifier for the task, echoed in its Result.
+	ID int
+	// Proto is the loaded program to instantiate. Tasks may share one
+	// prototype; Run precompiles each distinct prototype once and every
+	// clone adopts the compiled artifacts.
+	Proto *vm.Instance
+	// Proc and Args name the request's entry point.
+	Proc string
+	Args []uint64
+	// CancelAfter, when positive, is the request's timeout in simulated
+	// instructions: at the first slice boundary where the task has
+	// retired at least this many, the scheduler cuts it to the
+	// continuation parked in the CancelCont global (with CancelParams in
+	// the a-registers). If the global is still unset there, the cut is
+	// retried at each following boundary.
+	CancelAfter  int64
+	CancelCont   string
+	CancelParams []uint64
+}
+
+// Result is one task's outcome.
+type Result struct {
+	ID  int
+	Res []uint64 // result registers (nil if the task trapped)
+	Err error    // trap or setup failure, nil on success
+
+	Stats     machine.Counters // the clone's retired cost-model counters
+	Slices    int64            // how many budget slices the task consumed
+	Cancelled bool             // the cancellation cut fired
+	CutDepth  int              // activations discarded by the cut (when Cancelled)
+}
+
+// Config configures one scheduler run.
+type Config struct {
+	// Workers is the host-goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Slice is the budget slice in simulated instructions per turn;
+	// 0 means DefaultSlice.
+	Slice int64
+	// Obs, when non-nil, receives the run's aggregate SchedStats
+	// (RecordSched): the metrics export grows sched/sched_workers
+	// sections and queue-depth/cut-depth histograms.
+	Obs *obs.Observer
+}
+
+// entry is a task plus its in-flight execution state. Ownership follows
+// the queues: exactly one worker holds an entry at a time, so the fields
+// need no lock.
+type entry struct {
+	idx       int // index into the results slice
+	task      Task
+	inst      *vm.Instance
+	slices    int64
+	cancelled bool
+	cutDepth  int
+}
+
+// worker is one host goroutine's run queue plus its telemetry. Queue
+// accesses take mu (owners pop the front, thieves take the back);
+// telemetry fields other than Stolen are written only by the owning
+// goroutine.
+type worker struct {
+	mu sync.Mutex
+	q  []*entry
+
+	stats       obs.SchedWorker
+	queueDepths []int64
+	cutDepths   []int64
+}
+
+// push appends an entry at the back of the queue (the requeue point:
+// round-robin fairness among a worker's tasks).
+func (w *worker) push(e *entry) {
+	w.mu.Lock()
+	w.q = append(w.q, e)
+	w.mu.Unlock()
+}
+
+// pop takes the entry at the front of the queue and samples the queue
+// depth seen by this dequeue.
+func (w *worker) pop() *entry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.q) == 0 {
+		return nil
+	}
+	w.queueDepths = append(w.queueDepths, int64(len(w.q)))
+	e := w.q[0]
+	w.q = w.q[1:]
+	return e
+}
+
+// scheduler is the shared state of one Run.
+type scheduler struct {
+	slice     int64
+	workers   []*worker
+	results   []Result
+	remaining atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// Run executes every task to completion over the worker pool and
+// returns the results in task order.
+func Run(cfg Config, tasks []Task) ([]Result, error) {
+	nw := cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	slice := cfg.Slice
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+
+	// One compile per distinct prototype, before any worker starts:
+	// every clone adopts the artifacts instead of racing to build them.
+	protos := map[*vm.Instance]bool{}
+	for i := range tasks {
+		if tasks[i].Proto == nil {
+			return nil, fmt.Errorf("task %d (id %d) has no prototype", i, tasks[i].ID)
+		}
+		if !protos[tasks[i].Proto] {
+			tasks[i].Proto.Precompile()
+			protos[tasks[i].Proto] = true
+		}
+	}
+
+	s := &scheduler{slice: slice, results: make([]Result, len(tasks))}
+	for w := 0; w < nw; w++ {
+		s.workers = append(s.workers, &worker{})
+	}
+	// Initial placement: round-robin across workers. With one worker
+	// this is FIFO; with more, stealing rebalances whatever the static
+	// split gets wrong.
+	for i := range tasks {
+		s.workers[i%nw].q = append(s.workers[i%nw].q, &entry{idx: i, task: tasks[i]})
+	}
+	s.remaining.Store(int64(len(tasks)))
+
+	s.wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go s.runWorker(w)
+	}
+	s.wg.Wait()
+
+	if cfg.Obs != nil {
+		cfg.Obs.RecordSched(s.snapshot(nw, slice, len(tasks)))
+	}
+	return s.results, nil
+}
+
+// runWorker is one host goroutine: drain the own queue front to back,
+// steal from the back of other queues when empty, exit when every task
+// has finished.
+func (s *scheduler) runWorker(id int) {
+	defer s.wg.Done()
+	me := s.workers[id]
+	for {
+		e := me.pop()
+		if e == nil {
+			e = s.steal(id)
+		}
+		if e == nil {
+			if s.remaining.Load() == 0 {
+				return
+			}
+			// Tasks exist but are all held by other workers right now.
+			runtime.Gosched()
+			continue
+		}
+		s.runSlice(id, e)
+	}
+}
+
+// steal takes one entry from the back of another worker's queue —
+// the task its owner would reach last.
+func (s *scheduler) steal(id int) *entry {
+	for off := 1; off < len(s.workers); off++ {
+		v := s.workers[(id+off)%len(s.workers)]
+		v.mu.Lock()
+		if n := len(v.q); n > 0 {
+			e := v.q[n-1]
+			v.q = v.q[:n-1]
+			v.stats.Stolen++
+			v.mu.Unlock()
+			s.workers[id].stats.Steals++
+			return e
+		}
+		v.mu.Unlock()
+	}
+	return nil
+}
+
+// runSlice advances a task by one budget slice: instantiate on first
+// touch, run one StepSlice, apply the cancellation deadline at the
+// boundary, requeue or finish.
+func (s *scheduler) runSlice(id int, e *entry) {
+	me := s.workers[id]
+	if e.inst == nil {
+		inst, err := e.task.Proto.Clone()
+		if err != nil {
+			s.finish(me, e, err)
+			return
+		}
+		inst.SetSlice(s.slice)
+		if err := inst.Start(e.task.Proc, e.task.Args...); err != nil {
+			s.finish(me, e, err)
+			return
+		}
+		e.inst = inst
+	}
+	done, err := e.inst.StepSlice()
+	e.slices++
+	me.stats.Slices++
+	if err != nil || done {
+		s.finish(me, e, err)
+		return
+	}
+	if t := &e.task; t.CancelAfter > 0 && !e.cancelled && e.inst.Stats().Instrs >= t.CancelAfter {
+		depth := e.inst.StackDepth()
+		if err := e.inst.CancelCut(t.CancelCont, t.CancelParams...); err == nil {
+			e.cancelled = true
+			e.cutDepth = depth
+			me.cutDepths = append(me.cutDepths, int64(depth))
+		}
+		// An unset continuation just retries at the next boundary; the
+		// request keeps running until it parks one or completes.
+	}
+	me.push(e)
+}
+
+// finish records a task's outcome and releases its machine.
+func (s *scheduler) finish(me *worker, e *entry, err error) {
+	r := Result{ID: e.task.ID, Err: err, Slices: e.slices, Cancelled: e.cancelled, CutDepth: e.cutDepth}
+	if e.inst != nil {
+		r.Stats = e.inst.Stats()
+		if err == nil {
+			r.Res = e.inst.Results()
+		}
+		me.stats.SimInstrs += r.Stats.Instrs
+		e.inst = nil // the memory is the dominant per-task cost; drop it now
+	}
+	me.stats.Tasks++
+	s.results[e.idx] = r
+	s.remaining.Add(-1)
+}
+
+// snapshot aggregates the run's telemetry for the observer.
+func (s *scheduler) snapshot(nw int, slice int64, tasks int) obs.SchedStats {
+	ss := obs.SchedStats{Workers: nw, Slice: slice, Tasks: int64(tasks)}
+	for _, w := range s.workers {
+		ss.PerWorker = append(ss.PerWorker, w.stats)
+		ss.Slices += w.stats.Slices
+		ss.Steals += w.stats.Steals
+		ss.SimInstrs += w.stats.SimInstrs
+		ss.QueueDepths = append(ss.QueueDepths, w.queueDepths...)
+		ss.CutDepths = append(ss.CutDepths, w.cutDepths...)
+	}
+	for _, r := range s.results {
+		ss.SimCycles += r.Stats.Cycles
+		switch {
+		case r.Err != nil:
+			ss.Trapped++
+		case r.Cancelled:
+			ss.Cancelled++
+		default:
+			ss.Completed++
+		}
+	}
+	return ss
+}

@@ -8,6 +8,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"cmm/internal/codegen"
@@ -40,6 +41,7 @@ type Instance struct {
 	stubStart int
 	stackTop  uint64
 	obs       *obs.Observer
+	foreign   map[string]ForeignFunc // retained so Clone can rebuild wrappers
 }
 
 // Option configures an Instance.
@@ -54,6 +56,7 @@ type config struct {
 	stackKind machine.StackKind
 	haveStack bool
 	contMode  machine.ContMode
+	slice     int64
 }
 
 // WithMemSize sets the simulated memory size.
@@ -97,15 +100,23 @@ func WithContMode(mode machine.ContMode) Option {
 	return func(c *config) { c.contMode = mode }
 }
 
+// WithSlice sets a budget slice of n simulated instructions: each
+// machine.Run call pauses at the first clean boundary at or past the
+// slice edge instead of running to completion, so a scheduler can
+// preempt the thread. Zero (the default) disables slicing. Slicing is
+// invisible to results: final state is bit-identical to an unsliced run.
+func WithSlice(n int64) Option { return func(c *config) { c.slice = n } }
+
 // NewInstance loads p onto a fresh machine.
 func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 	c := &config{memSize: 4 << 20, foreign: map[string]ForeignFunc{}}
 	for _, o := range opts {
 		o(c)
 	}
-	inst := &Instance{P: p, RTS: c.rts, stubs: map[string]int{}}
+	inst := &Instance{P: p, RTS: c.rts, stubs: map[string]int{}, foreign: c.foreign}
 	m := machine.New(c.memSize)
 	m.Engine = c.engine
+	m.SliceLimit = c.slice
 	inst.M = m
 	if c.obs != nil {
 		inst.obs = c.obs
@@ -150,9 +161,20 @@ func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 	}
 	m.ContMode = c.contMode
 
-	// Foreign functions, in index order.
-	for i, name := range p.Foreigns {
-		f, ok := c.foreign[name]
+	inst.installRuntime()
+	return inst, nil
+}
+
+// installRuntime (re)builds the machine hooks that must capture this
+// specific Instance: the foreign-function wrappers (in import-index
+// order) and the yield handler. Factored out of NewInstance so Clone can
+// rebuild them around the clone rather than inheriting closures bound to
+// the prototype.
+func (inst *Instance) installRuntime() {
+	m := inst.M
+	m.ForeignFuncs = nil
+	for i, name := range inst.P.Foreigns {
+		f, ok := inst.foreign[name]
 		idx := i
 		if !ok {
 			nm := name
@@ -197,7 +219,6 @@ func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 		}
 		return nil
 	}
-	return inst, nil
 }
 
 // HeapStart returns the first free address past static data and globals,
@@ -205,14 +226,35 @@ func NewInstance(p *codegen.Program, opts ...Option) (*Instance, error) {
 func (inst *Instance) HeapStart() uint64 { return inst.P.HeapStart }
 
 // Run calls the named procedure with the given arguments and returns the
-// contents of the result registers after it returns.
+// contents of the result registers after it returns. With a budget slice
+// configured it simply resumes across every pause, so single-threaded
+// callers behave identically whether or not slicing is on.
 func (inst *Instance) Run(proc string, args ...uint64) ([]uint64, error) {
+	if err := inst.Start(proc, args...); err != nil {
+		return nil, err
+	}
+	for {
+		done, err := inst.StepSlice()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return inst.Results(), nil
+		}
+	}
+}
+
+// Start arranges a call to the named procedure — zeroed registers, stack
+// pointer at the top, arguments in the a-registers, PC at the entry stub
+// — without executing anything. Drive it with StepSlice; Run is exactly
+// Start followed by StepSlice to completion.
+func (inst *Instance) Start(proc string, args ...uint64) error {
 	stub, ok := inst.stubs[proc]
 	if !ok {
-		return nil, fmt.Errorf("no procedure %s", proc)
+		return fmt.Errorf("no procedure %s", proc)
 	}
 	if len(args) > machine.NumA {
-		return nil, fmt.Errorf("more than %d arguments", machine.NumA)
+		return fmt.Errorf("more than %d arguments", machine.NumA)
 	}
 	m := inst.M
 	for i := range m.Regs {
@@ -223,14 +265,150 @@ func (inst *Instance) Run(proc string, args ...uint64) ([]uint64, error) {
 		m.Regs[machine.RA0+machine.Reg(i)] = a
 	}
 	m.PC = stub
-	if err := m.Run(); err != nil {
-		return nil, err
+	return nil
+}
+
+// StepSlice runs the machine until the started call completes (done),
+// traps (err), or exhausts one budget slice (false, nil) — the
+// scheduler's unit of work. At a (false, nil) return the machine is
+// flushed and suspended at a slice boundary: the caller may resume with
+// another StepSlice or redirect the thread first (CancelCut).
+func (inst *Instance) StepSlice() (done bool, err error) {
+	err = inst.M.Run()
+	if errors.Is(err, machine.ErrSlicePaused) {
+		return false, nil
 	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Paused reports whether the machine is suspended at a slice boundary.
+func (inst *Instance) Paused() bool { return inst.M.Paused() }
+
+// Results returns the contents of the result registers.
+func (inst *Instance) Results() []uint64 {
+	m := inst.M
 	res := make([]uint64, machine.NumA)
 	for j := 0; j < machine.NumA; j++ {
 		res[j] = m.Regs[machine.RA0+machine.Reg(j)]
 	}
-	return res, nil
+	return res
+}
+
+// SetSlice changes the budget slice size (see WithSlice); it takes
+// effect at the next StepSlice.
+func (inst *Instance) SetSlice(n int64) { inst.M.SliceLimit = n }
+
+// Precompile builds the selected engine's compiled artifacts eagerly
+// (machine.Precompile), so clones adopt them instead of recompiling.
+func (inst *Instance) Precompile() { inst.M.Precompile() }
+
+// Clone builds an independent instance of the same loaded program: a
+// fresh machine with its own memory (data image and globals re-
+// initialised), registers, counters, and stack-policy state, sharing
+// only the immutable program artifacts — code, entry stubs, procedure
+// tables, and the prototype's compiled engine caches (ShareArtifacts),
+// which are read-only during execution and therefore safe to share
+// across concurrently running clones. The observer is not inherited:
+// observers are single-threaded, so attach per-clone state externally.
+func (inst *Instance) Clone() (*Instance, error) {
+	src := inst.M
+	c := &Instance{
+		P:         inst.P,
+		RTS:       inst.RTS,
+		stubs:     inst.stubs,
+		stubStart: inst.stubStart,
+		stackTop:  inst.stackTop,
+		foreign:   inst.foreign,
+	}
+	m := machine.New(len(src.Mem))
+	m.Engine = src.Engine
+	m.Cost = src.Cost
+	m.MaxInstrs = src.MaxInstrs
+	m.SliceLimit = src.SliceLimit
+	m.ContMode = src.ContMode
+	m.Code = src.Code
+	c.M = m
+	m.ShareArtifacts(src)
+	if src.Policy != nil {
+		m.Policy = machine.NewStackPolicy(src.Policy.Kind(), machine.StackConfig{StackTop: c.stackTop})
+	}
+	p := inst.P
+	copy(m.Mem[p.Img.Base:], p.Img.Bytes)
+	for name, addr := range p.GlobalAddr {
+		if err := m.StoreWord(addr, p.GlobalInit[name], 8); err != nil {
+			return nil, err
+		}
+	}
+	c.installRuntime()
+	return c, nil
+}
+
+// CancelCut redirects a suspended thread through the program's own
+// cancellation continuation: it reads continuation value k from the
+// named global (the Figure 2 "bits32 handler" pattern) and performs the
+// run-time stack cut to it, exactly as a front-end run-time system would
+// during a yield. Valid whenever the machine is flushed — at a slice
+// boundary or before a Start — which is what makes it the scheduler's
+// cut-to-based cancellation: constant work, independent of how deep the
+// in-flight handler stack is. The cut shares the in-code cut's reuse
+// contract (ContMode) and stack-policy hooks, so a cancelled one-shot
+// continuation traps deterministically like any other reuse.
+func (inst *Instance) CancelCut(global string, params ...uint64) error {
+	t := &Thread{inst: inst}
+	k, ok := t.GlobalWord(global)
+	if !ok {
+		return fmt.Errorf("no global %s", global)
+	}
+	if k == 0 {
+		return fmt.Errorf("cancel continuation %s is unset", global)
+	}
+	if err := t.SetCutToCont(k); err != nil {
+		return err
+	}
+	for i, v := range params {
+		t.SetContParam(i, v)
+	}
+	return t.Resume()
+}
+
+// StackDepth counts live activations by walking return addresses up to
+// the entry stub. Unlike the Thread walk it charges nothing: it is
+// scheduler bookkeeping (cut-depth histograms), and observing a thread
+// must not perturb its deterministic counters.
+func (inst *Instance) StackDepth() int {
+	m := inst.M
+	pc, sp := m.PC, m.Regs[machine.RSP]
+	depth := 0
+	for depth < 1<<20 {
+		pi := inst.P.ProcAt(pc)
+		if pi == nil {
+			break
+		}
+		depth++
+		idx := -1
+		if ra, err := m.LoadWord(sp+uint64(pi.RAOffset), 8); err == nil {
+			if i, ok := machine.CodeIndex(ra); ok {
+				idx = i
+			}
+		}
+		if idx < 0 && depth == 1 {
+			// A slice edge can land inside a prologue, after the frame
+			// is allocated but before the return address is spilled; the
+			// register still has it.
+			if i, ok := machine.CodeIndex(m.Regs[machine.RRA]); ok {
+				idx = i
+			}
+		}
+		if idx < 0 || idx >= inst.stubStart {
+			break
+		}
+		pc = idx
+		sp += uint64(pi.FrameSize)
+	}
+	return depth
 }
 
 // Stats exposes the machine's counters.
@@ -304,6 +482,7 @@ func (inst *Instance) RecordEngineTelemetry() {
 		DeoptBudget:     t.DeoptBudget,
 		DeoptObserver:   t.DeoptObserver,
 		DeoptPolicy:     t.DeoptPolicy,
+		DeoptSlice:      t.DeoptSlice,
 		ChainDispatches: t.ChainDispatches,
 		FusionHits:      t.FusionHits,
 	})
